@@ -1,0 +1,27 @@
+# Convenience targets for the reproduction repository.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-show report examples clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-show:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+report:
+	$(PYTHON) -m repro.cli report
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done
+
+clean:
+	rm -rf .pytest_cache .benchmarks build *.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,24 @@
+"""Figure 1 — node weights per depth of a permutation tree.
+
+Regenerates the paper's Figure 1 (weights attached to depths, eq. 3)
+and times the weight-vector precomputation for Ta056's 50-element
+permutation tree — the "calculated at the beginning of the B&B" step.
+"""
+
+import math
+
+from repro.core import TreeShape
+
+
+def test_fig1_weight_vector(benchmark):
+    shape = benchmark(TreeShape.permutation, 50)
+    # Figure 1's content (on the paper's small example tree):
+    small = TreeShape.permutation(4)
+    print("\nFigure 1 — weight per depth, permutation tree over 4 elements:")
+    for depth in small.iter_depths():
+        print(f"  depth {depth}: weight {small.weight(depth)} "
+              f"(= ({small.leaf_depth} - {depth})!)")
+    # eq. 3 must hold at Ta056 scale with exact integers:
+    for depth in (0, 10, 25, 49, 50):
+        assert shape.weight(depth) == math.factorial(50 - depth)
+    benchmark.extra_info["total_leaves"] = str(shape.total_leaves)

@@ -1,0 +1,25 @@
+"""Figure 2 — node numbers (eq. 6) across a permutation tree.
+
+Regenerates the figure's leaf numbering on the small example tree and
+times number computation along deep Ta056-scale paths.
+"""
+
+from repro.core import TreeShape, leaf_ranks_for_number, node_number
+
+
+def test_fig2_node_numbers(benchmark):
+    small = TreeShape.permutation(3)
+    print("\nFigure 2 — leaf numbers, permutation tree over 3 elements:")
+    for number in range(small.total_leaves):
+        ranks = leaf_ranks_for_number(small, number)
+        print(f"  leaf {list(ranks)} -> number {node_number(small, ranks)}")
+        assert node_number(small, ranks) == number
+
+    shape = TreeShape.permutation(50)
+    target = shape.total_leaves * 2 // 3
+
+    def number_roundtrip():
+        ranks = leaf_ranks_for_number(shape, target)
+        return node_number(shape, ranks)
+
+    assert benchmark(number_roundtrip) == target

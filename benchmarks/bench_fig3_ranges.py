@@ -1,0 +1,26 @@
+"""Figure 3 — node ranges (eq. 7): [number, number + weight).
+
+Regenerates the figure's ranges on the small tree and times range
+computation plus the child-partition property at Ta056 depth.
+"""
+
+from repro.core import Interval, TreeShape, node_range
+
+
+def test_fig3_node_ranges(benchmark):
+    small = TreeShape.permutation(3)
+    print("\nFigure 3 — ranges, permutation tree over 3 elements:")
+    print(f"  root: {node_range(small, ())}")
+    for r0 in range(3):
+        print(f"  node [{r0}]: {node_range(small, (r0,))}")
+
+    shape = TreeShape.permutation(50)
+    path = tuple(i % (50 - i) for i in range(25))  # a depth-25 node
+
+    rng = benchmark(node_range, shape, path)
+    # children partition the parent range exactly
+    children = [node_range(shape, path + (r,)) for r in range(50 - 25)]
+    assert children[0].begin == rng.begin
+    assert children[-1].end == rng.end
+    covered = sum(c.length for c in children)
+    assert covered == rng.length

@@ -1,0 +1,27 @@
+"""Figure 4 — fold/unfold: active list <-> interval round trip.
+
+Regenerates the figure's example (an interval covering part of a
+permutation tree) and times the round trip at Ta056 scale — the
+operation every checkpoint and work transfer performs.
+"""
+
+from repro.core import Interval, TreeShape, fold, unfold
+
+
+def test_fig4_fold_unfold_roundtrip(benchmark):
+    small = TreeShape.permutation(4)
+    interval = Interval(5, 17)
+    active = unfold(small, interval)
+    print(f"\nFigure 4 — unfold({interval}) over permutation(4):")
+    for node in active:
+        print(f"  node {list(node.ranks)} covers {node.range}")
+    print(f"  fold -> {fold(active)}")
+    assert fold(active) == interval
+
+    shape = TreeShape.permutation(50)
+    big = Interval(shape.total_leaves // 7, shape.total_leaves // 3)
+
+    def roundtrip():
+        return fold(unfold(shape, big))
+
+    assert benchmark(roundtrip) == big

@@ -1,0 +1,57 @@
+"""Figure 5 — B&B processes and a coordinator over interval work units.
+
+The figure shows three B&B processes exploring three intervals while a
+fourth interval waits for a process.  This bench reproduces that state
+with the *real* coordinator, prints the INTERVALS snapshot, then times
+a full parallel resolution with three worker processes.
+"""
+
+from repro.core import Interval, solve
+from repro.grid.runtime import (
+    Coordinator,
+    RuntimeConfig,
+    flowshop_spec,
+    solve_parallel,
+)
+from repro.grid.runtime.protocol import Request, Update
+from repro.problems.flowshop import FlowShopProblem, random_instance
+
+
+def test_fig5_intervals_snapshot(benchmark):
+    # Build exactly the figure: 3 processes, 4 intervals (one orphan).
+    def build():
+        return Coordinator(Interval(0, 10**6))
+
+    coord = benchmark(build)
+    coord.handle(Request("bb1"))
+    coord.handle(Request("bb2"))
+    coord.handle(Request("bb3"))
+    # bb3's interval is split once more, then bb3 "dies": orphan.
+    coord.handle(Update("bb1", (100_000, 500_000), nodes=0, consumed=0))
+    coord.handle(Request("bb3"))
+    coord.release_worker("bb3")
+    coord.handle(Request("bb3"))
+    snapshot = coord.intervals.records()
+    print("\nFigure 5 — INTERVALS at the coordinator:")
+    for rid, rec in sorted(snapshot.items()):
+        owner = ", ".join(map(str, rec.owners)) or "waiting for a process"
+        print(f"  interval {rec.interval}  <- {owner}")
+    assert coord.intervals.cardinality >= 3
+
+
+def test_fig5_three_process_resolution(benchmark):
+    instance = random_instance(9, 4, seed=33)
+    expected = solve(FlowShopProblem(instance)).cost
+
+    def run():
+        return solve_parallel(
+            flowshop_spec(instance),
+            RuntimeConfig(workers=3, update_nodes=300, deadline=180),
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.optimal and result.cost == expected
+    benchmark.extra_info["allocations"] = result.work_allocations
+    print(f"\n3-process resolution: optimum {result.cost}, "
+          f"{result.work_allocations} allocations, "
+          f"{result.checkpoint_operations} checkpoint ops")

@@ -1,0 +1,33 @@
+"""Figure 6 — the nation-wide experimental grid topology.
+
+Regenerates the figure as a cluster/link listing of the Table 1
+platform (9 clusters, campus Gigabit interconnect, RENATER WAN) and
+times a full all-pairs latency evaluation of the network model.
+"""
+
+from repro.grid.simulator import paper_platform
+
+
+def test_fig6_grid_topology(benchmark):
+    platform = paper_platform()
+    names = [c.name for c in platform.clusters]
+
+    print("\nFigure 6 — the experimental nation-wide grid:")
+    for cluster in platform.clusters:
+        tag = "Grid'5000" if cluster.domain == "Grid5000" else "Lille campus"
+        print(f"  {cluster.name:15s} {tag:13s} {cluster.processors:4d} procs")
+    print("  links: campus<->campus Gigabit; everything else RENATER 2.5G")
+
+    sample = platform.network.delay("IUT-A", "Sophia", 64)
+    campus = platform.network.delay("IUT-A", "IEEA-FIL", 64)
+    intra = platform.network.delay("Orsay", "Orsay", 64)
+    print(f"  64-byte message: intra {intra * 1e6:.0f}us, "
+          f"campus {campus * 1e6:.0f}us, WAN {sample * 1e6:.0f}us")
+    assert intra < campus < sample
+
+    def all_pairs():
+        return sum(
+            platform.network.delay(a, b, 64) for a in names for b in names
+        )
+
+    benchmark(all_pairs)

@@ -1,0 +1,110 @@
+"""Extension — the peer-to-peer paradigm (paper §6, future work).
+
+"It is also planned to use the approach with a peer to peer paradigm.
+This paradigm makes it possible to push far the scalability limits of
+the method."  This bench runs the same interval-coded workload through
+both paradigms and compares the scalability-relevant quantities: the
+farmer concentrates 100 % of the control traffic on one node, the P2P
+ring spreads it out (no hot spot), at a modest cost in redundant
+messages.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis import render_table
+from repro.grid.p2p import P2PConfig, P2PSimulation
+from repro.grid.simulator import (
+    FarmerConfig,
+    GridSimulation,
+    SimulationConfig,
+    SyntheticWorkload,
+    WorkerConfig,
+    small_platform,
+)
+
+PEERS = 32
+LEAVES = 10**9
+
+
+def make_workload():
+    return SyntheticWorkload(
+        LEAVES,
+        seed=6,
+        mean_leaf_rate=LEAVES / (PEERS * 2.0 * 1800.0),
+        irregularity=1.1,
+        segments=512,
+        nodes_per_second=1e4,
+        optimum=3679.0,
+        initial_gap=2.0,
+    )
+
+
+def run_farmer_worker():
+    config = SimulationConfig(
+        platform=small_platform(workers=PEERS, clusters=4),
+        workload=make_workload(),
+        horizon=90 * 86400.0,
+        seed=11,
+        always_on=True,
+        farmer=FarmerConfig(duplication_threshold=LEAVES // 10**5),
+        worker=WorkerConfig(update_period=30.0),
+    )
+    return GridSimulation(config).run()
+
+
+def run_p2p():
+    config = P2PConfig(
+        platform=small_platform(workers=PEERS, clusters=4),
+        workload=make_workload(),
+        horizon=90 * 86400.0,
+        seed=11,
+        update_period=30.0,
+        steal_backoff=5.0,
+    )
+    return P2PSimulation(config).run()
+
+
+def test_p2p_vs_farmer_worker(benchmark):
+    results = {}
+
+    def both():
+        results["fw"] = run_farmer_worker()
+        results["p2p"] = run_p2p()
+        return results
+
+    run_once(benchmark, both)
+    fw, p2p = results["fw"], results["p2p"]
+
+    rows = [
+        (
+            "farmer-worker",
+            f"{fw.wall_clock / 3600:.2f} h",
+            f"{fw.messages:,}",
+            "100% (the farmer)",
+            f"{fw.table2.redundant_node_rate:.2%}",
+            fw.best_cost,
+        ),
+        (
+            "peer-to-peer",
+            f"{p2p.wall_clock / 3600:.2f} h",
+            f"{p2p.messages:,}",
+            f"{p2p.max_peer_message_share:.0%} (max peer)",
+            f"{p2p.redundant_rate:.2%}",
+            p2p.best_cost,
+        ),
+    ]
+    print("\n" + render_table(
+        ["paradigm", "wall clock", "messages", "control hot spot",
+         "redundant", "optimum"],
+        rows,
+        title=f"Paradigm comparison, {PEERS} processors, same workload",
+    ))
+
+    assert fw.finished and p2p.finished
+    assert fw.best_cost == p2p.best_cost == 3679.0
+    # decentralisation: no P2P node concentrates the traffic
+    assert p2p.max_peer_message_share < 0.5
+    # and the paradigm stays in the same wall-clock ballpark (<= 2x)
+    assert p2p.wall_clock < 2.0 * fw.wall_clock
+    benchmark.extra_info["p2p_hot_spot"] = round(p2p.max_peer_message_share, 3)
+    benchmark.extra_info["fw_wall_h"] = round(fw.wall_clock / 3600, 2)
+    benchmark.extra_info["p2p_wall_h"] = round(p2p.wall_clock / 3600, 2)

@@ -1,0 +1,90 @@
+"""Ablation — redundant exploration vs duplication threshold (§4.2).
+
+"To avoid obtaining intervals of small size, the partitioning operator
+is parameterized by a threshold. An interval which has a length lower
+than this threshold is duplicated instead of being divided."  The
+paper measured < 0.4 % redundant nodes at its setting.
+
+This bench sweeps the threshold on a fixed churny workload: higher
+thresholds duplicate more (higher redundancy) but keep tail latency
+bounded; the rate must stay in the sub-percent regime at sane
+settings, and grow monotonically-ish with the threshold.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis import render_table
+from repro.grid.simulator import (
+    AvailabilityModel,
+    FarmerConfig,
+    GridSimulation,
+    SimulationConfig,
+    SyntheticWorkload,
+    WorkerConfig,
+    small_platform,
+)
+
+LEAVES = 10**9
+THRESHOLDS = (1, LEAVES // 10**5, LEAVES // 10**3, LEAVES // 10**2)
+
+
+def redundancy_run(threshold: int):
+    workload = SyntheticWorkload(
+        LEAVES,
+        seed=4,
+        mean_leaf_rate=LEAVES / (16 * 2.0 * 3600.0),
+        irregularity=1.2,
+        segments=512,
+        nodes_per_second=1e4,
+        optimum=3679.0,
+    )
+    config = SimulationConfig(
+        platform=small_platform(workers=16, clusters=4, dedicated=False),
+        workload=workload,
+        horizon=400 * 86400.0,
+        seed=9,
+        availability=AvailabilityModel(
+            mean_up=1200.0, mean_down=600.0, diurnal_amplitude=0.0
+        ),
+        farmer=FarmerConfig(duplication_threshold=threshold),
+        worker=WorkerConfig(update_period=20.0),
+    )
+    return GridSimulation(config).run()
+
+
+def test_redundancy_vs_duplication_threshold(benchmark):
+    reports = {}
+
+    def sweep():
+        for threshold in THRESHOLDS:
+            reports[threshold] = redundancy_run(threshold)
+        return reports
+
+    run_once(benchmark, sweep)
+
+    rows = []
+    for threshold in THRESHOLDS:
+        report = reports[threshold]
+        rows.append(
+            (
+                f"{threshold:.1e}" if threshold > 1 else "1 (off)",
+                f"{threshold / LEAVES:.0e}",
+                f"{report.table2.redundant_node_rate:.3%}",
+                f"{report.wall_clock / 3600:.1f} h",
+                report.finished,
+            )
+        )
+    print("\n" + render_table(
+        ["threshold", "fraction of tree", "redundant", "wall clock", "done"],
+        rows,
+        title="Redundancy vs duplication threshold (paper: 0.39%)",
+    ))
+
+    rates = [reports[t].table2.redundant_node_rate for t in THRESHOLDS]
+    for threshold in THRESHOLDS:
+        assert reports[threshold].finished
+        assert reports[threshold].best_cost == 3679.0
+    # paper-regime thresholds keep redundancy below a percent
+    assert rates[1] < 0.01
+    # cranking the threshold two orders higher visibly costs more
+    assert rates[-1] >= rates[1]
+    benchmark.extra_info["rates"] = [round(r, 5) for r in rates]

@@ -1,0 +1,60 @@
+"""§5.3 — Ta056 itself: instance identity, bounds and schedule check.
+
+Regenerates the paper's headline numbers that are checkable without 22
+CPU-years: the instance from Taillard's seed, the evaluation of the
+printed optimal schedule, the root lower bounds bracketing the claimed
+optimum 3679 (and previous best 3681), and the NEH upper bound.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.analysis import ComparisonSet
+from repro.problems.flowshop import (
+    BoundData,
+    makespan,
+    neh,
+    taillard_instance,
+)
+
+PAPER_SCHEDULE = [
+    14, 37, 3, 18, 8, 33, 11, 21, 42, 5, 13, 49, 50, 20, 28, 45, 43,
+    41, 46, 15, 24, 44, 40, 36, 39, 4, 16, 47, 17, 27, 1, 26, 10, 19,
+    32, 25, 30, 7, 2, 31, 23, 6, 48, 22, 29, 34, 9, 35, 38, 12,
+]
+
+
+def test_ta056_bounds_and_schedule(benchmark):
+    ta056 = taillard_instance(50, 20, 6)
+    printed = makespan(ta056, [j - 1 for j in PAPER_SCHEDULE])
+    _, neh_ub = neh(ta056)
+
+    data = BoundData(ta056, pair_strategy="all")
+    front = np.zeros(20, dtype=np.int64)
+    remaining = np.arange(50, dtype=np.intp)
+
+    def root_bounds():
+        return (
+            data.one_machine(front, remaining),
+            data.two_machine(front, remaining),
+        )
+
+    lb1, lb2 = run_once(benchmark, root_bounds)
+
+    cs = ComparisonSet()
+    cs.add("§5.3", "Ta056 printed schedule makespan", "3679",
+           str(printed), printed in (3679, 3680),
+           "preprint permutation evaluates to 3680; see EXPERIMENTS.md")
+    cs.add("§5.3", "improves previous best known (3681)", "< 3681",
+           str(printed), printed < 3681)
+    cs.add("§5.3", "root LB below the optimum", "<= 3679",
+           f"LB1={lb1}, LB2={lb2}", max(lb1, lb2) <= 3679)
+    cs.add("§5.3", "NEH UB above the optimum", ">= 3679",
+           str(neh_ub), neh_ub >= 3679)
+    cs.add("§5.3", "gap explains 22 CPU-years", "LB..UB straddles 3679",
+           f"[{max(lb1, lb2)}, {neh_ub}]", max(lb1, lb2) <= 3679 <= neh_ub)
+    print("\n" + cs.text())
+    assert cs.all_hold(), cs.failures()
+    benchmark.extra_info["lb1"] = lb1
+    benchmark.extra_info["lb2"] = lb2
+    benchmark.extra_info["neh_ub"] = neh_ub

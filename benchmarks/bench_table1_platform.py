@@ -1,0 +1,18 @@
+"""Table 1 — the computational pool.
+
+Regenerates the table row by row (CPU type, GHz, domain, count) with
+the 1889-processor bottom line and times platform construction.
+"""
+
+from repro.analysis import render_table1
+from repro.grid.simulator import paper_platform
+
+
+def test_table1_computational_pool(benchmark):
+    platform = benchmark(paper_platform)
+    print("\n" + render_table1())
+    print()
+    print(render_table1(platform))
+    assert platform.total_processors == 1889
+    assert len(platform.clusters) == 9
+    benchmark.extra_info["total_processors"] = platform.total_processors

@@ -1,0 +1,72 @@
+"""Table 2 — the execution statistics of the Ta056 resolution.
+
+The flagship experiment: the full Table 1 platform (1889 processors,
+cycle-stealing churn) resolves a 50!-leaf synthetic workload through
+the real farmer–worker protocol, and the run reduces to the exact
+rows of the paper's Table 2.
+
+The virtual duration is calibrated down from 25 days (see DESIGN.md
+§2) — wall-clock and CPU-time rows scale with it, while the
+comparable rows are ratios: worker/coordinator exploitation, the
+checkpoint:allocation ordering, and the redundancy rate.  The bench
+asserts the paper's qualitative claims on those.
+"""
+
+from benchmarks.conftest import run_once, ta056_scale_simulation
+from repro.analysis import ComparisonSet, render_table2
+from repro.grid.simulator import GridSimulation
+
+
+def test_table2_execution_statistics(benchmark, scale):
+    config = ta056_scale_simulation(virtual_days=0.15, seed=1)
+
+    report = run_once(benchmark, lambda: GridSimulation(config).run())
+    t2 = report.table2
+
+    print("\n" + render_table2(
+        t2,
+        scale_note=f"virtual duration calibrated to ~{0.15 * scale:.2f} "
+        f"days (paper: 25); ratio rows are the comparable ones",
+    ))
+
+    comparisons = ComparisonSet()
+    comparisons.add(
+        "Table 2", "optimum found with proof", "3679, proved",
+        f"{t2.best_cost:.0f}, proved={t2.optimum_proved}",
+        t2.optimum_proved and t2.best_cost == 3679.0,
+    )
+    comparisons.add(
+        "Table 2", "worker CPU exploitation", "97%",
+        f"{t2.worker_exploitation:.0%}",
+        t2.worker_exploitation > 0.9,
+    )
+    comparisons.add(
+        "Table 2", "coordinator CPU exploitation", "1.7%",
+        f"{t2.coordinator_exploitation:.1%}",
+        t2.coordinator_exploitation < 0.1,
+    )
+    comparisons.add(
+        "Table 2", "worker >> coordinator exploitation", ">50x",
+        f"{t2.worker_exploitation / max(t2.coordinator_exploitation, 1e-9):.0f}x",
+        t2.worker_exploitation > 10 * t2.coordinator_exploitation,
+    )
+    comparisons.add(
+        "Table 2", "checkpoint ops >> work allocations", "31x",
+        f"{t2.checkpoint_operations / max(1, t2.work_allocations):.0f}x",
+        t2.checkpoint_operations > 5 * t2.work_allocations,
+    )
+    comparisons.add(
+        "Table 2", "redundant nodes", "0.39%",
+        f"{t2.redundant_node_rate:.2%}",
+        t2.redundant_node_rate < 0.02,
+    )
+    print("\n" + comparisons.text())
+    assert comparisons.all_hold(), comparisons.failures()
+
+    benchmark.extra_info["worker_exploitation"] = round(
+        t2.worker_exploitation, 3
+    )
+    benchmark.extra_info["coordinator_exploitation"] = round(
+        t2.coordinator_exploitation, 4
+    )
+    benchmark.extra_info["redundant_rate"] = round(t2.redundant_node_rate, 5)

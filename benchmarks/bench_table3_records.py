@@ -1,0 +1,46 @@
+"""Table 3 — the most computation-hungry known exact resolutions.
+
+Regenerates the static comparison table, checks Ta056's rank-2 claim,
+and exercises the problem classes of the other rows (TSP and QAP) by
+exactly solving synthetic instances of each with the same engine.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis import RECORD_RESOLUTIONS, render_table3
+from repro.analysis.records import rank_of
+from repro.core import solve
+from repro.problems.qap import QAPProblem, random_qap
+from repro.problems.tsp import TSPProblem, random_tsp
+
+
+def test_table3_comparison_of_resolutions(benchmark):
+    print("\n" + benchmark(render_table3))
+    assert rank_of(22.0) == 2  # "the second resolution of Ta056 ranks second"
+    assert RECORD_RESOLUTIONS[0].cpu_years == 84.0  # Sw24978 leads
+
+
+def test_table3_tsp_class(benchmark):
+    # The problem class of rows 1, 3 and 5 (Sw24978/D15112/Usa13509),
+    # at a size the engine proves optimal in milliseconds.
+    instance = random_tsp(9, seed=4)
+
+    def run():
+        return solve(TSPProblem(instance))
+
+    result = run_once(benchmark, run)
+    assert result.optimal
+    assert sorted(result.solution) == list(range(9))
+    benchmark.extra_info["tour_length"] = result.cost
+
+
+def test_table3_qap_class(benchmark):
+    # Row 4's class (Nug30), via the Gilmore-Lawler bound.
+    instance = random_qap(7, seed=4)
+
+    def run():
+        return solve(QAPProblem(instance))
+
+    result = run_once(benchmark, run)
+    assert result.optimal
+    assert sorted(result.solution) == list(range(7))
+    benchmark.extra_info["assignment_cost"] = result.cost

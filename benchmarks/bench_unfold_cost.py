@@ -1,0 +1,59 @@
+"""Ablation — §3.5's cost claim: unfold performs < P decompositions
+per boundary ("In a tree with a maximum depth P, the B&B performs less
+than P decompositions").
+
+Measures decomposition counts across many random intervals of the
+Ta056 tree (must stay <= 2P for two boundaries) and times unfold as a
+function of tree depth to show the cost is O(P), independent of the
+interval length.
+"""
+
+import numpy as np
+
+from repro.core import Interval, TreeShape, unfold_with_stats
+
+
+def test_unfold_decomposition_bound(benchmark):
+    shape = TreeShape.permutation(50)
+    total = shape.total_leaves
+    rng = np.random.default_rng(11)
+    worst = 0
+    for _ in range(200):
+        a = int(rng.random() * total)
+        b = int(rng.random() * total)
+        a, b = min(a, b), max(a, b) + 1
+        _, stats = unfold_with_stats(shape, Interval(a, b))
+        worst = max(worst, stats.decompositions)
+    print(f"\nunfold over 200 random Ta056 intervals: "
+          f"max decompositions {worst} (bound 2P = {2 * shape.leaf_depth})")
+    assert worst <= 2 * shape.leaf_depth
+
+    interval = Interval(total // 7, total * 2 // 3)
+
+    def one_unfold():
+        return unfold_with_stats(shape, interval)[1].decompositions
+
+    decompositions = benchmark(one_unfold)
+    assert decompositions <= 2 * shape.leaf_depth
+    benchmark.extra_info["max_decompositions"] = worst
+
+
+def test_unfold_cost_scales_with_depth_not_length(benchmark):
+    print("\nunfold cost vs tree depth (interval spans half the tree):")
+    print(f"{'P':>4} {'leaves':>12} {'decompositions':>15}")
+    for p in (10, 20, 30, 40, 50):
+        shape = TreeShape.permutation(p)
+        total = shape.total_leaves
+        _, stats = unfold_with_stats(shape, Interval(total // 4, 3 * total // 4))
+        print(f"{p:>4} {float(total):>12.2e} {stats.decompositions:>15}")
+        assert stats.decompositions <= 2 * p
+
+    shape = TreeShape.permutation(50)
+    total = shape.total_leaves
+
+    def unfold_huge():
+        return unfold_with_stats(shape, Interval(1, total - 1))[1]
+
+    stats = benchmark(unfold_huge)
+    # the interval covers ~100 % of 50! leaves yet the cost is ~2P
+    assert stats.decompositions <= 2 * shape.leaf_depth

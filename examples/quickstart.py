@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Quickstart: exactly solve a flow-shop instance with proof.
+
+The 60-second tour of the library: build an instance, get an upper
+bound from NEH, run the interval-coded Branch and Bound, and check the
+proof of optimality.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import solve
+from repro.problems.flowshop import (
+    FlowShopProblem,
+    makespan,
+    neh,
+    random_instance,
+)
+
+
+def main() -> None:
+    # A 10-job, 5-machine instance from Taillard's U[1, 99] distribution.
+    instance = random_instance(jobs=10, machines=5, seed=2024)
+    print(f"instance: {instance.name}")
+    print(f"trivial lower bound: {instance.trivial_lower_bound()}")
+
+    # NEH gives the warm-start upper bound (the paper seeded Ta056 with
+    # the best-known metaheuristic solution the same way).
+    schedule, upper_bound = neh(instance)
+    print(f"NEH schedule: {schedule}  (makespan {upper_bound})")
+
+    # Exact resolution: DFS B&B over the permutation tree with the
+    # combined one-machine/two-machine lower bound.
+    problem = FlowShopProblem(instance, bound="combined")
+    result = solve(
+        problem,
+        initial_upper_bound=upper_bound,
+        initial_solution=tuple(schedule),
+    )
+
+    print(f"\noptimal makespan: {result.cost}  (proof: {result.optimal})")
+    print(f"optimal schedule: {list(result.solution)}")
+    print(f"nodes explored:   {result.stats.nodes_explored}")
+    print(f"nodes pruned:     {result.stats.nodes_pruned}")
+    gap = (upper_bound - result.cost) / result.cost
+    print(f"NEH optimality gap: {gap:.2%}")
+
+    # sanity: re-evaluate the returned schedule
+    assert makespan(instance, result.solution) == result.cost
+    print("\nschedule re-evaluated: consistent ✓")
+
+
+if __name__ == "__main__":
+    main()

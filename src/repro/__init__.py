@@ -1,0 +1,41 @@
+"""repro — Grid-enabled Branch and Bound with interval-coded work units.
+
+A production-quality reproduction of
+
+    M. Mezmaz, N. Melab, E-G. Talbi,
+    "A Grid-enabled Branch and Bound Algorithm for Solving Challenging
+    Combinatorial Optimization Problems", IPPS 2007
+    (INRIA research report RR-5945, HAL inria-00083814).
+
+Layout
+------
+``repro.core``
+    The paper's contribution: node numbering of regular search trees,
+    the fold/unfold operators converting DFS frontiers to two-integer
+    intervals, the coordinator's interval algebra (intersection,
+    partitioning, selection, duplication), checkpointing, and a
+    resumable interval-constrained B&B engine.
+``repro.problems``
+    Problem substrates: the permutation flow-shop (with a faithful
+    Taillard-1993 instance generator — Ta056 included), plus TSP and
+    QAP for the Table 3 problem classes.
+``repro.grid``
+    The grid substrate: a discrete-event simulator of a heterogeneous,
+    volatile multi-cluster grid running the farmer-worker protocol, and
+    a real multiprocessing runtime for true parallel solves.
+``repro.analysis``
+    Table/figure renderers and paper-vs-measured bookkeeping.
+
+Quickstart
+----------
+>>> from repro.problems.flowshop import random_instance, FlowShopProblem
+>>> from repro.core import solve
+>>> inst = random_instance(jobs=7, machines=4, seed=1)
+>>> result = solve(FlowShopProblem(inst))
+>>> result.optimal
+True
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

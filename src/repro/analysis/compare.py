@@ -1,0 +1,84 @@
+"""Paper-vs-measured bookkeeping.
+
+Each benchmark registers the quantities it regenerates as
+:class:`Comparison` rows; :class:`ComparisonSet` renders them as the
+markdown EXPERIMENTS.md consumes, with a pass/fail judgement based on
+the *shape* criterion (who wins, by roughly what factor) rather than
+absolute equality — the simulator is not the authors' testbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["Comparison", "ComparisonSet"]
+
+
+@dataclass
+class Comparison:
+    """One paper-vs-measured quantity."""
+
+    experiment: str  # "Table 2", "Fig. 7", ...
+    metric: str
+    paper: str
+    measured: str
+    holds: bool  # does the paper's qualitative claim hold?
+    note: str = ""
+
+    def markdown_row(self) -> str:
+        status = "✓" if self.holds else "✗"
+        return (
+            f"| {self.experiment} | {self.metric} | {self.paper} | "
+            f"{self.measured} | {status} | {self.note} |"
+        )
+
+
+@dataclass
+class ComparisonSet:
+    """A bag of comparisons with render/summary helpers."""
+
+    rows: List[Comparison] = field(default_factory=list)
+
+    def add(
+        self,
+        experiment: str,
+        metric: str,
+        paper: str,
+        measured: str,
+        holds: bool,
+        note: str = "",
+    ) -> Comparison:
+        row = Comparison(experiment, metric, paper, measured, holds, note)
+        self.rows.append(row)
+        return row
+
+    def all_hold(self) -> bool:
+        return all(r.holds for r in self.rows)
+
+    def failures(self) -> List[Comparison]:
+        return [r for r in self.rows if not r.holds]
+
+    def markdown(self, title: Optional[str] = None) -> str:
+        lines = []
+        if title:
+            lines.append(f"### {title}")
+            lines.append("")
+        lines.append(
+            "| Experiment | Metric | Paper | Measured | Holds | Note |"
+        )
+        lines.append("|---|---|---|---|---|---|")
+        lines.extend(r.markdown_row() for r in self.rows)
+        return "\n".join(lines)
+
+    def text(self) -> str:
+        width = max((len(r.metric) for r in self.rows), default=0)
+        lines = []
+        for r in self.rows:
+            status = "OK " if r.holds else "FAIL"
+            lines.append(
+                f"[{status}] {r.experiment}: {r.metric.ljust(width)}  "
+                f"paper={r.paper}  measured={r.measured}"
+                + (f"  ({r.note})" if r.note else "")
+            )
+        return "\n".join(lines)

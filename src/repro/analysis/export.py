@@ -1,0 +1,55 @@
+"""Exporting regenerated tables/figures as files (CSV / markdown).
+
+The benchmarks print their tables; downstream analysis (plotting the
+Figure 7 series, diffing Table 2 across runs) wants files.  Plain
+``csv`` module, no pandas dependency.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Sequence, Tuple, Union
+
+from repro.grid.simulator.metrics import Table2Stats
+
+__all__ = ["write_series_csv", "write_table2_csv", "read_series_csv"]
+
+PathLike = Union[str, Path]
+
+
+def write_series_csv(
+    path: PathLike, series: Sequence[Tuple[float, int]],
+    header: Tuple[str, str] = ("time_seconds", "active_workers"),
+) -> Path:
+    """Write a (time, value) step series — the Figure 7 data file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(header)
+        for t, v in series:
+            writer.writerow([f"{t:.6f}", v])
+    return path
+
+
+def read_series_csv(path: PathLike) -> list:
+    """Read back a series written by :func:`write_series_csv`."""
+    with Path(path).open(newline="") as fh:
+        reader = csv.reader(fh)
+        next(reader)  # header
+        return [(float(t), int(v)) for t, v in reader]
+
+
+def write_table2_csv(path: PathLike, stats: Table2Stats) -> Path:
+    """Write the Table 2 rows as label,value CSV."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["statistic", "value"])
+        for label, value in stats.rows():
+            writer.writerow([label, value])
+        writer.writerow(["best cost", stats.best_cost])
+        writer.writerow(["optimum proved", stats.optimum_proved])
+    return path

@@ -1,0 +1,85 @@
+"""Table 3: the most computation-hungry exact resolutions known in 2006.
+
+Static historical data from the paper (with its own sources: Applegate
+et al. for the TSP records, Anstreicher et al. for Nug30), plus the
+normalisation helper that lets a new run place itself in the ranking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.analysis.tables import render_table
+
+__all__ = ["RecordResolution", "RECORD_RESOLUTIONS", "render_table3", "rank_of"]
+
+
+@dataclass(frozen=True)
+class RecordResolution:
+    """One row of Table 3."""
+
+    order: int
+    problem: str
+    instance: str
+    description: str
+    cpu_years: float
+    reference_machine: str
+
+    def power_label(self) -> str:
+        years = (
+            f"{self.cpu_years:.0f}"
+            if self.cpu_years == int(self.cpu_years)
+            else f"{self.cpu_years:g}"
+        )
+        if self.reference_machine:
+            return f"{years} years/{self.reference_machine}"
+        return f"{years} years"
+
+
+RECORD_RESOLUTIONS: List[RecordResolution] = [
+    RecordResolution(
+        1, "TSP", "Sw24978", "24,978 towns of Sweden", 84.0,
+        "Intel Xeon 2.8 GHz",
+    ),
+    RecordResolution(
+        2, "Flow-Shop", "Ta056", "50 jobs on 20 machines", 22.0, "",
+    ),
+    RecordResolution(
+        3, "TSP", "D15112", "15,112 towns of Germany", 22.0,
+        "Compaq Alpha 500 MHz",
+    ),
+    RecordResolution(4, "QAP", "Nug30", "", 7.0, "HP-C3000 400MHz"),
+    RecordResolution(5, "TSP", "Usa13509", "13,509 towns of USA", 4.0, ""),
+]
+
+
+def render_table3(
+    extra: Optional[RecordResolution] = None,
+) -> str:
+    """Table 3, optionally re-ranked with one additional resolution."""
+    records = list(RECORD_RESOLUTIONS)
+    if extra is not None:
+        records.append(extra)
+        records.sort(key=lambda r: -r.cpu_years)
+        records = [
+            RecordResolution(
+                i + 1, r.problem, r.instance, r.description,
+                r.cpu_years, r.reference_machine,
+            )
+            for i, r in enumerate(records)
+        ]
+    rows = [
+        (r.order, r.problem, r.instance, r.description, r.power_label())
+        for r in records
+    ]
+    return render_table(
+        ["Order", "Problem", "Instance", "Description", "Computation power"],
+        rows,
+        title="Table 3: The comparison of the most known resolutions",
+    )
+
+
+def rank_of(cpu_years: float) -> int:
+    """Where a run of this cumulative CPU time would rank in Table 3."""
+    return 1 + sum(1 for r in RECORD_RESOLUTIONS if r.cpu_years > cpu_years)

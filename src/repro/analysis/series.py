@@ -1,0 +1,68 @@
+"""Time-series helpers for Figure 7 (processor availability over time).
+
+The simulator emits an event series ``[(time, active_count), ...]``;
+these helpers resample it onto a regular grid, summarise it the way
+the paper quotes it (average 328, maximum 1195), and render a
+terminal sparkline so the benchmark output *is* the figure.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+__all__ = ["resample", "series_summary", "sparkline"]
+
+_BARS = "▁▂▃▄▅▆▇█"
+
+
+def resample(
+    series: Sequence[Tuple[float, int]], horizon: float, samples: int
+) -> List[Tuple[float, int]]:
+    """Step-function resampling of an event series onto a regular grid."""
+    if samples < 1:
+        raise ValueError("need at least one sample")
+    out: List[Tuple[float, int]] = []
+    idx = 0
+    current = 0
+    for k in range(samples):
+        t = horizon * k / max(1, samples - 1) if samples > 1 else 0.0
+        while idx < len(series) and series[idx][0] <= t:
+            current = series[idx][1]
+            idx += 1
+        out.append((t, current))
+    return out
+
+
+def series_summary(
+    series: Sequence[Tuple[float, int]], horizon: float
+) -> Tuple[float, int]:
+    """Time-weighted average and maximum of a step series."""
+    if not series or horizon <= 0:
+        return 0.0, 0
+    total = 0.0
+    peak = 0
+    points = list(series) + [(horizon, series[-1][1])]
+    for (t0, n), (t1, _) in zip(points, points[1:]):
+        span = max(0.0, min(t1, horizon) - min(t0, horizon))
+        total += n * span
+        peak = max(peak, n)
+    return total / horizon, peak
+
+
+def sparkline(values: Sequence[float], width: int = 72) -> str:
+    """Unicode sparkline of a value sequence, downsampled to ``width``."""
+    if not values:
+        return ""
+    if len(values) > width:
+        chunk = len(values) / width
+        values = [
+            max(values[int(i * chunk): max(int(i * chunk) + 1, int((i + 1) * chunk))])
+            for i in range(width)
+        ]
+    top = max(values)
+    if top <= 0:
+        return _BARS[0] * len(values)
+    return "".join(
+        _BARS[min(len(_BARS) - 1, int(v / top * (len(_BARS) - 1) + 0.5))]
+        for v in values
+    )

@@ -1,0 +1,95 @@
+"""Plain-text table renderers for the paper's tables.
+
+Benchmarks print through these so every regenerated table shares one
+format: a header, aligned columns, and (for Table 2) a paper-reference
+column next to the measured value.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.grid.simulator.metrics import Table2Stats
+from repro.grid.simulator.platform import PAPER_POOL_ROWS, PlatformSpec
+
+__all__ = ["render_table", "render_table1", "render_table2"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Fixed-width table with a rule under the header."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in cells)) if cells else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_table1(platform: Optional[PlatformSpec] = None) -> str:
+    """Table 1: the computational pool, row per CPU type."""
+    if platform is None:
+        rows = [
+            (cpu, f"{ghz:.2f}", f"{cluster} ({domain})",
+             f"{count}" if procs == 1 else f"2x{count}")
+            for cpu, ghz, cluster, domain, count, procs in PAPER_POOL_ROWS
+        ]
+        total = sum(count * procs for *_, count, procs in PAPER_POOL_ROWS)
+        table = render_table(
+            ["CPU", "GHz", "Domain", "No."],
+            rows,
+            title="Table 1: The computational pool",
+        )
+        return f"{table}\nTotal: {total}"
+    rows = [
+        (c.name, c.domain, c.processors) for c in platform.clusters
+    ]
+    table = render_table(
+        ["Cluster", "Domain", "Processors"],
+        rows,
+        title="Table 1 (platform spec)",
+    )
+    return f"{table}\nTotal: {platform.total_processors}"
+
+
+# Paper's Table 2 values for the reference column.
+PAPER_TABLE2 = {
+    "Running wall clock time": "25 days",
+    "Total cpu time": "22 years",
+    "Average number of workers": "328",
+    "Maximum number of workers": "1,195",
+    "Worker CPU exploitation": "97%",
+    "Coordinator CPU exploitation": "1.7%",
+    "Checkpoint operations": "4,094,176",
+    "Work allocations": "129,958",
+    "Explored nodes": "6.5087e+12",
+    "Redundant nodes": "0.39%",
+}
+
+
+def render_table2(
+    stats: Table2Stats, scale_note: Optional[str] = None
+) -> str:
+    """Table 2: execution statistics, measured vs paper."""
+    rows: List[Tuple[str, str, str]] = [
+        (label, value, PAPER_TABLE2.get(label, ""))
+        for label, value in stats.rows()
+    ]
+    table = render_table(
+        ["Statistic", "Measured", "Paper (Ta056 run 2)"],
+        rows,
+        title="Table 2: The execution statistics",
+    )
+    if scale_note:
+        table += f"\nNote: {scale_note}"
+    return table

@@ -1,0 +1,294 @@
+"""Command-line interface: ``repro <command>``.
+
+Commands
+--------
+``repro solve``
+    Exactly solve a flow-shop instance (sequential or parallel).
+``repro simulate``
+    Run a grid simulation and print the Table 2 statistics.
+``repro tables``
+    Print the paper's static tables (1 and 3).
+``repro taillard``
+    Print a Taillard benchmark instance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Grid-enabled Branch and Bound with interval-coded work "
+            "units (Mezmaz, Melab & Talbi, IPPS 2007)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve_p = sub.add_parser("solve", help="exactly solve a flow-shop instance")
+    solve_p.add_argument("--jobs", type=int, default=9)
+    solve_p.add_argument("--machines", type=int, default=4)
+    solve_p.add_argument("--seed", type=int, default=1)
+    solve_p.add_argument(
+        "--taillard", type=int, default=None, metavar="INDEX",
+        help="use Taillard instance INDEX of the jobs x machines class",
+    )
+    solve_p.add_argument("--workers", type=int, default=0,
+                         help="0: sequential; N>0: parallel processes")
+    solve_p.add_argument("--bound", choices=["lb1", "lb2", "combined"],
+                         default="combined")
+    solve_p.add_argument("--no-neh", action="store_true",
+                         help="skip the NEH warm start")
+    solve_p.add_argument("--ig-iterations", type=int, default=0,
+                         help="refine the warm start with Iterated Greedy "
+                              "(the paper's reference [9]) for N iterations")
+    solve_p.add_argument("--checkpoint-dir", default=None,
+                         help="periodic fold-and-persist checkpoints; "
+                              "re-running with the same dir resumes")
+
+    sim_p = sub.add_parser("simulate", help="run a grid simulation")
+    sim_p.add_argument("--workers", type=int, default=64,
+                       help="worker count (ignored with --paper-platform)")
+    sim_p.add_argument("--paper-platform", action="store_true",
+                       help="use the full 1889-processor Table 1 pool")
+    sim_p.add_argument("--days", type=float, default=1.0,
+                       help="calibrated virtual duration of the workload")
+    sim_p.add_argument("--seed", type=int, default=0)
+    sim_p.add_argument("--update-period", type=float, default=174.0)
+    sim_p.add_argument("--irregularity", type=float, default=1.2)
+    sim_p.add_argument("--always-on", action="store_true")
+
+    p2p_p = sub.add_parser(
+        "p2p", help="peer-to-peer resolution (the paper's future work)"
+    )
+    p2p_p.add_argument("--peers", type=int, default=8)
+    p2p_p.add_argument("--jobs", type=int, default=8)
+    p2p_p.add_argument("--machines", type=int, default=4)
+    p2p_p.add_argument("--seed", type=int, default=12)
+
+    report_p = sub.add_parser(
+        "report",
+        help="run a quick reproduction sweep and print paper-vs-measured",
+    )
+    report_p.add_argument("--seed", type=int, default=1)
+
+    sub.add_parser("tables", help="print the static tables (1 and 3)")
+
+    ta_p = sub.add_parser("taillard", help="print a Taillard instance")
+    ta_p.add_argument("--jobs", type=int, default=50)
+    ta_p.add_argument("--machines", type=int, default=20)
+    ta_p.add_argument("--index", type=int, default=6)
+
+    return parser
+
+
+def _cmd_solve(args) -> int:
+    from repro.core import solve
+    from repro.problems.flowshop import (
+        FlowShopProblem,
+        neh,
+        random_instance,
+        taillard_instance,
+    )
+
+    if args.taillard is not None:
+        instance = taillard_instance(args.jobs, args.machines, args.taillard)
+    else:
+        instance = random_instance(args.jobs, args.machines, args.seed)
+    print(f"instance: {instance.name} ({instance.jobs}x{instance.machines})")
+
+    ub = math.inf
+    warm = None
+    if not args.no_neh:
+        seq, ub = neh(instance)
+        warm = tuple(seq)
+        print(f"NEH upper bound: {ub}")
+        if args.ig_iterations > 0:
+            from repro.problems.flowshop import iterated_greedy
+
+            ig = iterated_greedy(
+                instance, iterations=args.ig_iterations, seed=args.seed
+            )
+            if ig.cost < ub:
+                ub = ig.cost
+                warm = tuple(ig.sequence)
+            print(f"Iterated Greedy upper bound: {ig.cost} "
+                  f"({args.ig_iterations} iterations)")
+
+    if args.workers > 0:
+        from repro.grid.runtime import RuntimeConfig, flowshop_spec, solve_parallel
+
+        result = solve_parallel(
+            flowshop_spec(instance, bound=args.bound),
+            RuntimeConfig(
+                workers=args.workers,
+                initial_upper_bound=ub,
+                initial_solution=warm,
+            ),
+        )
+        print(f"optimal makespan: {result.cost} (proof: {result.optimal})")
+        print(f"schedule: {list(result.solution)}")
+        print(
+            f"workers={result.workers} allocations={result.work_allocations} "
+            f"updates={result.checkpoint_operations} "
+            f"nodes={result.nodes_explored} "
+            f"redundant={result.redundant_rate:.2%}"
+        )
+    elif args.checkpoint_dir:
+        from repro.core import ResumableSolver
+
+        solver = ResumableSolver(
+            FlowShopProblem(instance, bound=args.bound),
+            args.checkpoint_dir,
+            initial_upper_bound=ub,
+            initial_solution=warm,
+        )
+        if solver.progress.resumed_from is not None:
+            print(f"resumed from {solver.progress.resumed_from}")
+        result = solver.run()
+        print(f"optimal makespan: {result.cost} (proof: {result.optimal})")
+        print(f"schedule: {list(result.solution)}")
+        print(f"checkpoints written: {solver.progress.checkpoints_written}")
+    else:
+        result = solve(
+            FlowShopProblem(instance, bound=args.bound),
+            initial_upper_bound=ub,
+            initial_solution=warm,
+        )
+        print(f"optimal makespan: {result.cost} (proof: {result.optimal})")
+        print(f"schedule: {list(result.solution)}")
+        print(f"nodes explored: {result.stats.nodes_explored}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.analysis import render_table2, resample, series_summary, sparkline
+    from repro.grid.simulator import (
+        FarmerConfig,
+        paper_availability_model,
+        GridSimulation,
+        SimulationConfig,
+        SyntheticWorkload,
+        WorkerConfig,
+        paper_platform,
+        small_platform,
+    )
+
+    platform = (
+        paper_platform() if args.paper_platform else small_platform(args.workers)
+    )
+    horizon = args.days * 86400.0 * 4
+    leaves = math.factorial(50)
+    # calibrated churn: roughly 19 % of the pool busy at mean 2.1 GHz
+    expected_power = 0.19 * platform.total_processors * 2.1
+    workload = SyntheticWorkload(
+        leaves,
+        seed=args.seed,
+        mean_leaf_rate=leaves / (expected_power * args.days * 86400.0),
+        irregularity=args.irregularity,
+        nodes_per_second=1e4,
+    )
+    config = SimulationConfig(
+        platform=platform,
+        workload=workload,
+        horizon=horizon,
+        seed=args.seed,
+        availability=paper_availability_model(),
+        farmer=FarmerConfig(duplication_threshold=leaves // 10**8),
+        worker=WorkerConfig(update_period=args.update_period),
+        always_on=args.always_on,
+    )
+    report = GridSimulation(config).run()
+    print(render_table2(report.table2))
+    avg, peak = series_summary(report.series, report.wall_clock)
+    print(f"\nFigure 7 (exploited processors over time, avg={avg:.0f}, "
+          f"peak={peak}):")
+    grid = resample(report.series, max(report.wall_clock, 1.0), samples=300)
+    print(sparkline([n for _, n in grid]))
+    print(f"\nbest cost: {report.best_cost}  proof: {report.finished}")
+    return 0
+
+
+def _cmd_p2p(args) -> int:
+    from repro.core import solve
+    from repro.grid.p2p import P2PConfig, P2PSimulation
+    from repro.grid.simulator import RealBBWorkload, small_platform
+    from repro.problems.flowshop import FlowShopProblem, random_instance
+
+    instance = random_instance(args.jobs, args.machines, args.seed)
+    problem = FlowShopProblem(instance)
+    expected = solve(problem).cost
+    config = P2PConfig(
+        platform=small_platform(workers=args.peers, clusters=2),
+        workload=RealBBWorkload(problem, nodes_per_second=200),
+        horizon=30 * 86400.0,
+        seed=args.seed,
+        update_period=1.0,
+        steal_backoff=0.5,
+    )
+    report = P2PSimulation(config).run()
+    print(f"instance: {instance.name}")
+    print(f"P2P optimum: {report.best_cost} (sequential: {expected}, "
+          f"Safra termination: {report.finished})")
+    print(f"peers={report.peers} steals={report.steals_succeeded}/"
+          f"{report.steals_attempted} messages={report.messages} "
+          f"hot-spot={report.max_peer_message_share:.0%}")
+    return 0 if report.best_cost == expected else 1
+
+
+def _cmd_report(args) -> int:
+    from repro.analysis.report import quick_report
+
+    comparisons = quick_report(seed=args.seed)
+    print(comparisons.text())
+    print()
+    failures = comparisons.failures()
+    if failures:
+        print(f"{len(failures)} claim(s) FAILED")
+        return 1
+    print(f"all {len(comparisons.rows)} claims hold")
+    return 0
+
+
+def _cmd_tables(_args) -> int:
+    from repro.analysis import render_table1, render_table3
+
+    print(render_table1())
+    print()
+    print(render_table3())
+    return 0
+
+
+def _cmd_taillard(args) -> int:
+    from repro.problems.flowshop import taillard_instance
+
+    instance = taillard_instance(args.jobs, args.machines, args.index)
+    print(f"{instance.name}: {instance.jobs} jobs x {instance.machines} machines")
+    print(f"trivial lower bound: {instance.trivial_lower_bound()}")
+    for row in instance.processing_times:
+        print(" ".join(f"{v:2d}" for v in row))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "solve": _cmd_solve,
+        "simulate": _cmd_simulate,
+        "p2p": _cmd_p2p,
+        "report": _cmd_report,
+        "tables": _cmd_tables,
+        "taillard": _cmd_taillard,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

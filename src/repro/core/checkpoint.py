@@ -1,0 +1,175 @@
+"""Two-file checkpointing of ``INTERVALS`` and ``SOLUTION`` (§4.1).
+
+"The coordinator manages a possible failure of the farmer by
+periodically saving, in two files, the contents of INTERVALS and
+SOLUTION."  This module is that persistence layer: JSON payloads
+written atomically (temp file + rename) so a crash mid-write never
+corrupts the previous checkpoint.
+
+Node numbers can exceed 2**53 (``50!`` for Ta056), so intervals are
+serialised as decimal strings — Python's ``json`` would emit big ints
+fine, but many readers would round-trip them through doubles.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, List, Optional, Tuple
+
+from repro.core.interval import Interval
+from repro.core.interval_set import IntervalSet
+from repro.core.stats import Incumbent
+from repro.exceptions import CheckpointError
+
+__all__ = ["CheckpointStore"]
+
+_FORMAT_VERSION = 1
+
+
+def _atomic_write_json(path: Path, payload: Any) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent), prefix=path.name + ".")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(payload, fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def _read_json(path: Path) -> Any:
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except FileNotFoundError:
+        raise
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CheckpointError(f"unreadable checkpoint {path}: {exc}") from exc
+
+
+@dataclass
+class CheckpointStore:
+    """Reads/writes the coordinator's two checkpoint files.
+
+    ``directory`` holds ``intervals.json`` and ``solution.json``.
+    """
+
+    directory: Path
+
+    def __post_init__(self) -> None:
+        self.directory = Path(self.directory)
+
+    @property
+    def intervals_path(self) -> Path:
+        return self.directory / "intervals.json"
+
+    @property
+    def solution_path(self) -> Path:
+        return self.directory / "solution.json"
+
+    # ------------------------------------------------------------------
+    # INTERVALS
+    # ------------------------------------------------------------------
+    def save_intervals(self, intervals: IntervalSet) -> None:
+        payload = {
+            "version": _FORMAT_VERSION,
+            "intervals": [
+                [str(b), str(e)] for b, e in intervals.to_payload()
+            ],
+        }
+        _atomic_write_json(self.intervals_path, payload)
+
+    def load_intervals(
+        self, duplication_threshold: int = 0
+    ) -> Optional[IntervalSet]:
+        """Restore INTERVALS; ``None`` when no checkpoint exists yet."""
+        try:
+            payload = _read_json(self.intervals_path)
+        except FileNotFoundError:
+            return None
+        self._check_version(payload, self.intervals_path)
+        try:
+            pairs: List[Tuple[int, int]] = [
+                (int(b), int(e)) for b, e in payload["intervals"]
+            ]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"malformed intervals checkpoint {self.intervals_path}: {exc}"
+            ) from exc
+        return IntervalSet.from_payload(pairs, duplication_threshold)
+
+    # ------------------------------------------------------------------
+    # SOLUTION
+    # ------------------------------------------------------------------
+    def save_solution(self, incumbent: Incumbent) -> None:
+        payload = {
+            "version": _FORMAT_VERSION,
+            "cost": None if incumbent.cost == float("inf") else incumbent.cost,
+            "solution": _jsonable_solution(incumbent.solution),
+        }
+        _atomic_write_json(self.solution_path, payload)
+
+    def load_solution(self) -> Optional[Incumbent]:
+        """Restore SOLUTION; ``None`` when no checkpoint exists yet."""
+        try:
+            payload = _read_json(self.solution_path)
+        except FileNotFoundError:
+            return None
+        self._check_version(payload, self.solution_path)
+        cost = payload.get("cost")
+        solution = payload.get("solution")
+        if solution is not None and isinstance(solution, list):
+            solution = tuple(solution)
+        return Incumbent(
+            float("inf") if cost is None else cost,
+            solution,
+        )
+
+    # ------------------------------------------------------------------
+    # combined convenience
+    # ------------------------------------------------------------------
+    def save(self, intervals: IntervalSet, incumbent: Incumbent) -> None:
+        self.save_intervals(intervals)
+        self.save_solution(incumbent)
+
+    def load(
+        self, duplication_threshold: int = 0
+    ) -> Tuple[Optional[IntervalSet], Optional[Incumbent]]:
+        return (
+            self.load_intervals(duplication_threshold),
+            self.load_solution(),
+        )
+
+    def clear(self) -> None:
+        for path in (self.intervals_path, self.solution_path):
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass
+
+    @staticmethod
+    def _check_version(payload: Any, path: Path) -> None:
+        if not isinstance(payload, dict) or payload.get("version") != _FORMAT_VERSION:
+            raise CheckpointError(
+                f"checkpoint {path} has unsupported format: "
+                f"{payload.get('version') if isinstance(payload, dict) else payload!r}"
+            )
+
+
+def _jsonable_solution(solution: Any) -> Any:
+    """Coerce common solution shapes (tuples of ints) into JSON types."""
+    if solution is None:
+        return None
+    if isinstance(solution, (list, tuple)):
+        return [int(x) if hasattr(x, "__int__") else x for x in solution]
+    return solution

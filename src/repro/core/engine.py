@@ -1,0 +1,392 @@
+"""Interval-constrained depth-first Branch and Bound engine.
+
+This is the per-process exploration loop of the paper's approach: a
+B&B process owns an interval ``[A, B)`` of node numbers and explores
+exactly the leaves numbered inside it, depth first, leftmost first.
+The engine is *resumable* — the grid layers drive it in slices with
+:meth:`IntervalExplorer.step` so they can interleave exploration with
+message handling — and at every pause its frontier folds back to the
+remaining interval (``[position, B)``), which is what gets sent to the
+coordinator for checkpointing (§4.1).
+
+Correspondence with the paper's four operators (§2):
+
+* **selection** — DFS order is hard-wired: the stack is kept sorted so
+  the smallest node number is always explored next (eq. 9 then holds
+  by construction and folding is O(1));
+* **branching** — delegated to :meth:`Problem.branch`;
+* **bounding** — delegated to :meth:`Problem.lower_bound`;
+* **elimination** — a node is eliminated when its bound reaches the
+  incumbent cost *or* when its number falls outside the owned interval
+  (the eq. 12 rule that makes work units independent).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, List, Optional, Tuple
+
+from repro.core.active_list import ActiveList, ActiveNode
+from repro.core.interval import Interval
+from repro.core.problem import Problem
+from repro.core.stats import ExplorationStats, Incumbent
+from repro.core.tree import TreeShape
+from repro.core.unfold import unfold
+from repro.exceptions import EngineError, ProblemError
+
+__all__ = [
+    "IntervalExplorer",
+    "StepReport",
+    "SolveResult",
+    "solve",
+    "brute_force_minimum",
+]
+
+ImprovementCallback = Callable[[float, Any], None]
+
+
+@dataclass
+class StepReport:
+    """Outcome of one :meth:`IntervalExplorer.step` slice."""
+
+    nodes_processed: int
+    finished: bool
+    improved: bool
+
+
+@dataclass
+class SolveResult:
+    """Result of a complete (proof-carrying) exploration."""
+
+    cost: float
+    solution: Any
+    stats: ExplorationStats
+    interval: Interval
+    optimal: bool = True
+
+    def found_solution(self) -> bool:
+        return self.solution is not None
+
+
+class _Entry:
+    """One frontier node on the DFS stack (ranks, state, cached number)."""
+
+    __slots__ = ("ranks", "state", "number")
+
+    def __init__(self, ranks: Tuple[int, ...], state: Any, number: int):
+        self.ranks = ranks
+        self.state = state
+        self.number = number
+
+
+class IntervalExplorer:
+    """Resumable DFS B&B over one interval of node numbers.
+
+    Parameters
+    ----------
+    problem:
+        The problem to minimise.
+    interval:
+        Node numbers to own; defaults to the full range of the root.
+        Clipped to ``[0, total_leaves)``.
+    incumbent:
+        Initial best solution (copied); exploration prunes against it.
+        The paper initialises this from the coordinator's ``SOLUTION``
+        (sharing rule 1, §4.4).
+    on_improvement:
+        Called ``(cost, solution)`` whenever the local best improves
+        (sharing rule 2: "immediately informs the coordinator").
+    """
+
+    def __init__(
+        self,
+        problem: Problem,
+        interval: Optional[Interval] = None,
+        *,
+        incumbent: Optional[Incumbent] = None,
+        on_improvement: Optional[ImprovementCallback] = None,
+    ):
+        self.problem = problem
+        self.shape: TreeShape = problem.tree_shape()
+        self._weights = self.shape.weights()
+        full = Interval(0, self.shape.total_leaves)
+        interval = full if interval is None else interval.intersect(full)
+        self._original = interval
+        self._end = max(interval.end, interval.begin)
+        self.incumbent = incumbent.copy() if incumbent is not None else Incumbent()
+        self.on_improvement = on_improvement
+        self.stats = ExplorationStats()
+        # Stack ordered by DECREASING node number so list.pop() yields
+        # the leftmost (smallest-numbered) frontier node — DFS order.
+        self._stack: List[_Entry] = []
+        if not interval.is_empty():
+            self._init_stack(interval)
+
+    # ------------------------------------------------------------------
+    # initialisation: unfold the interval, materialise states
+    # ------------------------------------------------------------------
+    def _init_stack(self, interval: Interval) -> None:
+        active = unfold(self.shape, interval)
+        # Consecutive frontier nodes share long rank-path prefixes, so a
+        # prefix -> state cache keeps materialisation at O(P) branchings.
+        prefix_states = {(): self.problem.root_state()}
+
+        def state_for(ranks: Tuple[int, ...]) -> Any:
+            if ranks in prefix_states:
+                return prefix_states[ranks]
+            parent = state_for(ranks[:-1])
+            children = self._branch_checked(parent, len(ranks) - 1)
+            state = children[ranks[-1]]
+            prefix_states[ranks] = state
+            return state
+
+        for node in reversed(list(active)):
+            self._stack.append(
+                _Entry(node.ranks, state_for(node.ranks), node.number)
+            )
+
+    def _branch_checked(self, state: Any, depth: int) -> Tuple[Any, ...]:
+        children = tuple(self.problem.branch(state, depth))
+        expected = self.shape.num_children(depth)
+        if len(children) != expected:
+            raise ProblemError(
+                f"{self.problem.name()}.branch returned {len(children)} "
+                f"children at depth {depth}, shape expects {expected}"
+            )
+        return children
+
+    # ------------------------------------------------------------------
+    # state inspection
+    # ------------------------------------------------------------------
+    def is_finished(self) -> bool:
+        return not self._stack
+
+    @property
+    def end(self) -> int:
+        """Current right bound of the owned interval (may shrink)."""
+        return self._end
+
+    def remaining_interval(self) -> Interval:
+        """Fold of the live frontier: what is left to explore.
+
+        This is exactly what a worker reports to the coordinator during
+        an interval update (§4.1).  Empty once exploration is done.
+        """
+        if not self._stack:
+            return Interval(self._end, self._end)
+        return Interval(self._stack[-1].number, self._end)
+
+    def active_list(self) -> ActiveList:
+        """The frontier as an :class:`ActiveList` (increasing order).
+
+        Note: after :meth:`restrict_end` the last node's range may
+        extend past :attr:`end`; exploration clips lazily, so the list
+        covers *at least* the remaining interval.
+        """
+        nodes = [
+            ActiveNode(self.shape, entry.ranks)
+            for entry in reversed(self._stack)
+            if entry.number < self._end
+        ]
+        return ActiveList(self.shape, nodes)
+
+    # ------------------------------------------------------------------
+    # coordination hooks (load balancing & solution sharing)
+    # ------------------------------------------------------------------
+    def restrict_end(self, new_end: int) -> None:
+        """Give up the tail ``[new_end, end)`` — stolen by load balancing.
+
+        Growing the interval is not part of the protocol and raises.
+        """
+        if new_end > self._end:
+            raise EngineError(
+                f"cannot extend interval end from {self._end} to {new_end}"
+            )
+        self._end = new_end
+        # Entries are ordered by decreasing number: drop the out-of-range
+        # prefix eagerly (index 0 side holds the largest numbers).
+        cut = 0
+        while cut < len(self._stack) and self._stack[cut].number >= new_end:
+            cut += 1
+        if cut:
+            del self._stack[:cut]
+
+    def apply_interval(self, interval: Interval) -> None:
+        """Reconcile with a coordinator-side copy (intersection, eq. 14).
+
+        The coordinator can only have *shrunk* the work (raised begin is
+        impossible — only this process advances begin — so in practice
+        this lowers ``end``).  An empty intersection means all remaining
+        work was reassigned: the frontier is dropped.
+        """
+        merged = self.remaining_interval().intersect(interval)
+        if merged.is_empty():
+            self._stack.clear()
+            self._end = merged.end
+            return
+        self.restrict_end(merged.end)
+
+    def set_upper_bound(self, cost: float, solution: Any = None) -> bool:
+        """Adopt a better global bound (sharing rule 3, §4.4)."""
+        if cost < self.incumbent.cost:
+            self.incumbent.cost = cost
+            self.incumbent.solution = solution
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # exploration
+    # ------------------------------------------------------------------
+    def step(self, max_nodes: float = math.inf) -> StepReport:
+        """Explore up to ``max_nodes`` nodes; return what happened.
+
+        One "node" is one frontier entry taken off the stack, matching
+        the paper's explored-node accounting (pruned, decomposed and
+        leaf nodes all count).
+        """
+        problem = self.problem
+        stack = self._stack
+        leaf_depth = self.shape.leaf_depth
+        weights = self._weights
+        stats = self.stats
+        processed = 0
+        improved = False
+
+        while stack and processed < max_nodes:
+            entry = stack.pop()
+            if entry.number >= self._end:
+                # Stack is sorted by decreasing number: everything still
+                # on it is also out of range.
+                stats.nodes_skipped_out_of_range += len(stack) + 1
+                stack.clear()
+                break
+            processed += 1
+            stats.nodes_explored += 1
+            depth = len(entry.ranks)
+
+            if depth == leaf_depth:
+                stats.leaves_evaluated += 1
+                cost = problem.leaf_cost(entry.state)
+                if cost < self.incumbent.cost:
+                    self.incumbent.cost = cost
+                    self.incumbent.solution = problem.leaf_solution(entry.state)
+                    stats.improvements += 1
+                    improved = True
+                    if self.on_improvement is not None:
+                        self.on_improvement(
+                            self.incumbent.cost, self.incumbent.solution
+                        )
+                continue
+
+            stats.bound_evaluations += 1
+            if problem.lower_bound(entry.state, depth) >= self.incumbent.cost:
+                stats.nodes_pruned += 1
+                continue
+
+            stats.nodes_decomposed += 1
+            children = self._branch_checked(entry.state, depth)
+            child_weight = weights[depth + 1]
+            # Reverse rank order so rank 0 ends on top of the stack.
+            for rank in range(len(children) - 1, -1, -1):
+                child_number = entry.number + rank * child_weight
+                if child_number >= self._end:
+                    stats.nodes_skipped_out_of_range += 1
+                    continue
+                stack.append(
+                    _Entry(entry.ranks + (rank,), children[rank], child_number)
+                )
+
+        return StepReport(processed, finished=not stack, improved=improved)
+
+    def run(self) -> ExplorationStats:
+        """Explore the whole owned interval to completion."""
+        while not self.is_finished():
+            self.step(math.inf)
+        return self.stats
+
+
+# ----------------------------------------------------------------------
+# one-shot conveniences
+# ----------------------------------------------------------------------
+def solve(
+    problem: Problem,
+    *,
+    interval: Optional[Interval] = None,
+    initial_upper_bound: float = math.inf,
+    initial_solution: Any = None,
+    on_improvement: Optional[ImprovementCallback] = None,
+) -> SolveResult:
+    """Sequentially solve ``problem`` (over ``interval``) with proof.
+
+    This is the paper's algorithm on a single processor: the returned
+    cost is the optimum over the explored interval and ``optimal`` is
+    ``True`` because the exploration ran to exhaustion.  The paper
+    initialised Ta056 with the best-known cost 3681 — pass it through
+    ``initial_upper_bound`` for the same effect (note: with a pure
+    bound and no solution, an instance whose optimum equals the bound
+    reports ``solution=None``; pass ``initial_solution`` to keep it).
+    """
+    incumbent = Incumbent(initial_upper_bound, initial_solution)
+    explorer = IntervalExplorer(
+        problem,
+        interval,
+        incumbent=incumbent,
+        on_improvement=on_improvement,
+    )
+    explorer.run()
+    full = Interval(0, problem.total_leaves()) if interval is None else interval
+    return SolveResult(
+        cost=explorer.incumbent.cost,
+        solution=explorer.incumbent.solution,
+        stats=explorer.stats,
+        interval=full,
+    )
+
+
+def brute_force_minimum(problem: Problem) -> SolveResult:
+    """Evaluate every leaf (no pruning) — ground truth for tests.
+
+    Exponential; only call on tiny instances.
+    """
+
+    class _NoPruning(Problem):
+        def tree_shape(self) -> TreeShape:
+            return problem.tree_shape()
+
+        def root_state(self) -> Any:
+            return problem.root_state()
+
+        def branch(self, state: Any, depth: int):
+            return problem.branch(state, depth)
+
+        def lower_bound(self, state: Any, depth: int) -> float:
+            return -math.inf
+
+        def leaf_cost(self, state: Any) -> float:
+            return problem.leaf_cost(state)
+
+        def leaf_solution(self, state: Any) -> Any:
+            return problem.leaf_solution(state)
+
+    return solve(_NoPruning())
+
+
+def iter_leaf_costs(problem: Problem) -> Iterator[Tuple[int, float]]:
+    """Yield ``(leaf_number, cost)`` for every leaf, in number order.
+
+    Test helper for exhaustive cross-checks of numbering and engine
+    semantics on small trees.
+    """
+    shape = problem.tree_shape()
+    weights = shape.weights()
+
+    def walk(state: Any, depth: int, number: int) -> Iterator[Tuple[int, float]]:
+        if depth == shape.leaf_depth:
+            yield number, problem.leaf_cost(state)
+            return
+        child_weight = weights[depth + 1]
+        for rank, child in enumerate(problem.branch(state, depth)):
+            yield from walk(child, depth + 1, number + rank * child_weight)
+
+    yield from walk(problem.root_state(), 0, 0)

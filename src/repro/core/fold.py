@@ -1,0 +1,44 @@
+"""The fold operator: active list -> interval (paper §3.4).
+
+Folding summarises an arbitrary-size DFS frontier into two integers.
+Because consecutive frontier ranges are adjacent (eq. 9), the union of
+all ranges (eq. 8) collapses to eq. 10::
+
+    interval(N) = [ number(N1),  number(Nk) + weight(Nk) )
+
+i.e. only the first and last nodes matter.  ``fold`` applies eq. 10
+directly; ``fold_by_union`` computes the eq. 8 union explicitly and is
+kept as the executable specification the tests compare against.
+"""
+
+from __future__ import annotations
+
+from repro.core.active_list import ActiveList
+from repro.core.interval import Interval
+
+__all__ = ["fold", "fold_by_union"]
+
+
+def fold(active: ActiveList) -> Interval:
+    """Fold a DFS active list into its covering interval (eq. 10).
+
+    An empty list folds to the canonical empty interval — the work unit
+    is exhausted.
+    """
+    if active.is_empty():
+        return Interval(0, 0)
+    first = active[0]
+    last = active[len(active) - 1]
+    return Interval(first.number, last.number + last.weight)
+
+
+def fold_by_union(active: ActiveList) -> Interval:
+    """Reference implementation of eq. 8: union of every node range.
+
+    Quadratic in frontier size; exists so property tests can check that
+    the O(1) eq. 10 shortcut agrees with the definitional union.
+    """
+    result = Interval(0, 0)
+    for node in active:
+        result = result.union_contiguous(node.range)
+    return result

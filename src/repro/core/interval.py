@@ -1,0 +1,165 @@
+"""Half-open integer intervals — the paper's work-unit representation.
+
+A work unit is "delimited by two leaves of the explored tree, and thus
+represented by an interval whose beginning and end are the numbers
+associated with the two leaves" (§6).  All the grid machinery
+(communication, checkpointing, load balancing) manipulates these
+two-integer values instead of explicit node collections.
+
+Intervals are half-open ``[begin, end)`` as in the paper, over Python's
+arbitrary-precision integers (leaf numbers reach ``50!`` for Ta056).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from repro.exceptions import IntervalError
+
+__all__ = ["Interval"]
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """Immutable half-open interval ``[begin, end)`` of node numbers.
+
+    An interval with ``begin >= end`` is *empty* — the paper's
+    coordinator drops those from ``INTERVALS`` automatically.  Empty
+    intervals are representable (they arise naturally from intersection
+    and exhaustion) but normalise to ``Interval.EMPTY`` for equality of
+    emptiness checks via :meth:`is_empty`.
+    """
+
+    begin: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.begin, int) or not isinstance(self.end, int):
+            raise IntervalError(
+                f"interval bounds must be ints, got "
+                f"({type(self.begin).__name__}, {type(self.end).__name__})"
+            )
+
+    # ------------------------------------------------------------------
+    # predicates
+    # ------------------------------------------------------------------
+    def is_empty(self) -> bool:
+        """True when the interval contains no number (begin >= end)."""
+        return self.begin >= self.end
+
+    def __len__(self) -> int:  # pragma: no cover - alias of length
+        return self.length
+
+    @property
+    def length(self) -> int:
+        """Number of leaf numbers covered; 0 when empty."""
+        return max(0, self.end - self.begin)
+
+    def __contains__(self, number: int) -> bool:
+        return self.begin <= number < self.end
+
+    def contains_interval(self, other: "Interval") -> bool:
+        """True when ``other`` (non-empty) is a subset of this interval.
+
+        Empty intervals are subsets of everything, matching eq. 12's
+        elimination rule (an empty intersection eliminates a node).
+        """
+        if other.is_empty():
+            return True
+        return self.begin <= other.begin and other.end <= self.end
+
+    def overlaps(self, other: "Interval") -> bool:
+        """True when the intersection is non-empty."""
+        return not self.intersect(other).is_empty()
+
+    def is_adjacent_left_of(self, other: "Interval") -> bool:
+        """True when ``self.end == other.begin`` (DFS contiguity, eq. 9)."""
+        return self.end == other.begin
+
+    # ------------------------------------------------------------------
+    # algebra
+    # ------------------------------------------------------------------
+    def intersect(self, other: "Interval") -> "Interval":
+        """Intersection operator (eq. 14).
+
+        The paper uses this to reconcile a worker's live interval with
+        its coordinator copy: the worker advances ``begin`` while
+        exploring, the load balancer lowers ``end`` when it gives part
+        of the work away; ``[max(A, A'), min(B, B'))`` is what remains.
+        """
+        return Interval(max(self.begin, other.begin), min(self.end, other.end))
+
+    def split_at(self, point: int) -> Tuple["Interval", "Interval"]:
+        """Split into ``[begin, point)`` and ``[point, end)``.
+
+        The partitioning operator of §4.2: the holder keeps the left
+        part (it is already exploring from ``begin``), the requester
+        gets the right part.  ``point`` is clamped to the interval so a
+        degenerate split (the paper's "virtual process of null power",
+        C == begin) hands the whole interval to the requester.
+        """
+        point = min(max(point, self.begin), self.end)
+        return Interval(self.begin, point), Interval(point, self.end)
+
+    def advance_to(self, new_begin: int) -> "Interval":
+        """Interval left after exploration has consumed up to ``new_begin``.
+
+        Workers only ever *increase* ``begin`` (§4.1); a regression is a
+        protocol bug and raises.
+        """
+        if new_begin < self.begin:
+            raise IntervalError(
+                f"cannot move begin backwards: {new_begin} < {self.begin}"
+            )
+        return Interval(new_begin, self.end)
+
+    def restrict_end(self, new_end: int) -> "Interval":
+        """Interval left after load balancing lowered the end (§4.2)."""
+        if new_end > self.end:
+            raise IntervalError(
+                f"cannot move end forwards: {new_end} > {self.end}"
+            )
+        return Interval(self.begin, new_end)
+
+    def union_contiguous(self, other: "Interval") -> "Interval":
+        """Union of two contiguous or overlapping intervals (eq. 8).
+
+        Raises
+        ------
+        IntervalError
+            If the union is not itself an interval (a gap between the
+            operands).  Folding a DFS active list never hits this
+            because consecutive ranges are adjacent (eq. 9).
+        """
+        if self.is_empty():
+            return other
+        if other.is_empty():
+            return self
+        if self.end < other.begin or other.end < self.begin:
+            raise IntervalError(
+                f"union of {self} and {other} is not contiguous"
+            )
+        return Interval(min(self.begin, other.begin), max(self.end, other.end))
+
+    # ------------------------------------------------------------------
+    # serialisation helpers
+    # ------------------------------------------------------------------
+    def as_tuple(self) -> Tuple[int, int]:
+        return (self.begin, self.end)
+
+    @classmethod
+    def from_tuple(cls, pair: Tuple[int, int]) -> "Interval":
+        begin, end = pair
+        return cls(int(begin), int(end))
+
+    def __iter__(self) -> Iterator[int]:
+        yield self.begin
+        yield self.end
+
+    def __repr__(self) -> str:
+        return f"[{self.begin}, {self.end})"
+
+
+# Canonical empty interval, handy as an identity for unions.
+Interval.EMPTY = Interval(0, 0)  # type: ignore[attr-defined]

@@ -1,0 +1,124 @@
+"""Node numbers and ranges in a regular tree (paper §3.2–§3.3).
+
+A node is addressed by its *rank path*: the tuple of ranks taken on the
+way down from the root, where the rank of a node is its position among
+its brothers in generation order (first generated child has rank 0).
+The root's rank path is the empty tuple.
+
+The paper assigns each node a *number* (eq. 6 for regular trees)::
+
+    number(n) = sum over i in path(n) of rank(i) * weight(i)
+
+and a *range* (eq. 7)::
+
+    range(n) = [number(n), number(n) + weight(n))
+
+The number of an internal node equals the number of its leftmost
+descendant leaf; leaf numbers are the unique integers
+``0 .. total_leaves - 1`` and the mapping ``leaf -> number`` is a
+bijection (exercised exhaustively in the test suite).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.core.interval import Interval
+from repro.core.tree import TreeShape
+from repro.exceptions import NumberingError
+
+__all__ = [
+    "check_rank_path",
+    "node_number",
+    "node_range",
+    "leaf_ranks_for_number",
+    "ancestor_at_depth",
+    "common_depth",
+]
+
+RankPath = Tuple[int, ...]
+
+
+def check_rank_path(shape: TreeShape, ranks: Sequence[int]) -> RankPath:
+    """Validate a rank path against a shape and return it as a tuple.
+
+    Raises
+    ------
+    NumberingError
+        If the path is longer than the leaf depth or any rank falls
+        outside the branching factor of its level.
+    """
+    ranks = tuple(int(r) for r in ranks)
+    if len(ranks) > shape.leaf_depth:
+        raise NumberingError(
+            f"rank path of length {len(ranks)} exceeds leaf depth "
+            f"{shape.leaf_depth}"
+        )
+    for depth, rank in enumerate(ranks):
+        limit = shape.branching[depth]
+        if not 0 <= rank < limit:
+            raise NumberingError(
+                f"rank {rank} at depth {depth} outside [0, {limit})"
+            )
+    return ranks
+
+
+def node_number(shape: TreeShape, ranks: Sequence[int]) -> int:
+    """Number of the node addressed by ``ranks`` (eq. 6).
+
+    The weight that multiplies the rank taken at depth ``d`` is the
+    weight of the *child* level ``d + 1``: stepping to the ``r``-th
+    child skips ``r`` whole sibling sub-trees of that weight.
+    """
+    ranks = check_rank_path(shape, ranks)
+    weights = shape.weights()
+    number = 0
+    for depth, rank in enumerate(ranks):
+        number += rank * weights[depth + 1]
+    return number
+
+
+def node_range(shape: TreeShape, ranks: Sequence[int]) -> Interval:
+    """Range ``[number(n), number(n) + weight(n))`` of a node (eq. 7)."""
+    ranks = check_rank_path(shape, ranks)
+    begin = node_number(shape, ranks)
+    return Interval(begin, begin + shape.weight(len(ranks)))
+
+
+def leaf_ranks_for_number(shape: TreeShape, number: int) -> RankPath:
+    """Rank path of the leaf whose number is ``number``.
+
+    This is the inverse of :func:`node_number` restricted to leaves: a
+    mixed-radix decomposition of ``number`` over the per-depth weights.
+    """
+    if not 0 <= number < shape.total_leaves:
+        raise NumberingError(
+            f"leaf number {number} outside [0, {shape.total_leaves})"
+        )
+    weights = shape.weights()
+    ranks: List[int] = []
+    remainder = number
+    for depth in range(shape.leaf_depth):
+        w = weights[depth + 1]
+        rank, remainder = divmod(remainder, w)
+        ranks.append(rank)
+    return tuple(ranks)
+
+
+def ancestor_at_depth(ranks: Sequence[int], depth: int) -> RankPath:
+    """Rank path of the ancestor of ``ranks`` at the given depth."""
+    if not 0 <= depth <= len(ranks):
+        raise NumberingError(
+            f"depth {depth} outside [0, {len(ranks)}] for ancestor lookup"
+        )
+    return tuple(ranks[:depth])
+
+
+def common_depth(a: Sequence[int], b: Sequence[int]) -> int:
+    """Depth of the deepest common ancestor of two rank paths."""
+    depth = 0
+    for ra, rb in zip(a, b):
+        if ra != rb:
+            break
+        depth += 1
+    return depth

@@ -1,0 +1,83 @@
+"""The :class:`Problem` interface the B&B engine explores.
+
+A problem instance describes a *regular* search tree (so the interval
+coding applies) plus the three B&B ingredients the paper's operators
+need: branching, bounding and leaf evaluation.  The library consistently
+**minimises** — costs may be ints or floats.
+
+The crucial contract is *deterministic branching order*: the rank of a
+child is its position in the sequence returned by :meth:`branch`, and
+ranks define the node numbering (§3.2).  ``branch`` must therefore be a
+pure function of the parent state — two processes decomposing the same
+node anywhere on the grid must generate the same children in the same
+order, otherwise intervals would mean different work on different
+hosts.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Sequence
+
+from repro.core.tree import TreeShape
+
+__all__ = ["Problem"]
+
+
+class Problem(ABC):
+    """A minimisation problem over a regular search tree.
+
+    Subclasses provide immutable-ish *states*; the engine never mutates
+    a state it did not create and may keep many alive on its stack.
+    """
+
+    @abstractmethod
+    def tree_shape(self) -> TreeShape:
+        """Shape of the search tree (defines weights and numbering)."""
+
+    @abstractmethod
+    def root_state(self) -> Any:
+        """State attached to the root node (the whole search space)."""
+
+    @abstractmethod
+    def branch(self, state: Any, depth: int) -> Sequence[Any]:
+        """Children of ``state`` in rank order (rank 0 first).
+
+        Must return exactly ``tree_shape().num_children(depth)`` states
+        and be deterministic in ``state`` alone — the grid-wide node
+        numbering depends on it.
+        """
+
+    @abstractmethod
+    def lower_bound(self, state: Any, depth: int) -> float:
+        """Lower bound on the cost of every leaf below ``state``.
+
+        The engine prunes the sub-tree when this is >= the incumbent
+        cost.  Returning ``-inf`` disables pruning for the node.  For a
+        leaf state this should equal :meth:`leaf_cost` (the engine only
+        calls :meth:`leaf_cost` on leaves, but a consistent bound keeps
+        the LB <= cost invariant testable).
+        """
+
+    @abstractmethod
+    def leaf_cost(self, state: Any) -> float:
+        """Exact cost of a leaf state."""
+
+    def leaf_solution(self, state: Any) -> Any:
+        """Serialisable representation of a leaf solution.
+
+        Defaults to the state itself; problems whose states carry
+        incremental caches should override to strip them.
+        """
+        return state
+
+    # ------------------------------------------------------------------
+    # conveniences shared by all problems
+    # ------------------------------------------------------------------
+    def total_leaves(self) -> int:
+        """Size of the solution space (= weight of the root)."""
+        return self.tree_shape().total_leaves
+
+    def name(self) -> str:
+        """Human-readable identifier used in logs and benchmark tables."""
+        return type(self).__name__

@@ -1,0 +1,79 @@
+"""Exploration statistics gathered by the B&B engine.
+
+The paper's Table 2 reports node counts (explored, redundant) for the
+whole grid run; these per-engine counters are the building blocks that
+the coordinator, the simulator and the benchmarks aggregate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["ExplorationStats", "Incumbent"]
+
+
+@dataclass
+class ExplorationStats:
+    """Counters for one exploration (or a merge of several).
+
+    ``nodes_explored`` counts every node taken off the DFS stack, which
+    matches the paper's "explored nodes" (internal nodes and leaves,
+    whether pruned or decomposed).
+    """
+
+    nodes_explored: int = 0
+    nodes_decomposed: int = 0
+    nodes_pruned: int = 0
+    leaves_evaluated: int = 0
+    improvements: int = 0
+    bound_evaluations: int = 0
+    nodes_skipped_out_of_range: int = 0
+
+    def merge(self, other: "ExplorationStats") -> None:
+        """Accumulate another stats object into this one (in place)."""
+        self.nodes_explored += other.nodes_explored
+        self.nodes_decomposed += other.nodes_decomposed
+        self.nodes_pruned += other.nodes_pruned
+        self.leaves_evaluated += other.leaves_evaluated
+        self.improvements += other.improvements
+        self.bound_evaluations += other.bound_evaluations
+        self.nodes_skipped_out_of_range += other.nodes_skipped_out_of_range
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "nodes_explored": self.nodes_explored,
+            "nodes_decomposed": self.nodes_decomposed,
+            "nodes_pruned": self.nodes_pruned,
+            "leaves_evaluated": self.leaves_evaluated,
+            "improvements": self.improvements,
+            "bound_evaluations": self.bound_evaluations,
+            "nodes_skipped_out_of_range": self.nodes_skipped_out_of_range,
+        }
+
+
+@dataclass
+class Incumbent:
+    """Best solution found so far: the paper's ``SOLUTION`` payload.
+
+    ``cost`` is ``float('inf')`` when no solution is known yet, in which
+    case ``solution`` is ``None``.  Costs compare with plain ``<`` — the
+    library consistently minimises.
+    """
+
+    cost: float = float("inf")
+    solution: object = None
+
+    def improves_on(self, other: "Incumbent") -> bool:
+        return self.cost < other.cost
+
+    def update(self, cost: float, solution: object) -> bool:
+        """Adopt (cost, solution) if strictly better; report whether it was."""
+        if cost < self.cost:
+            self.cost = cost
+            self.solution = solution
+            return True
+        return False
+
+    def copy(self) -> "Incumbent":
+        return Incumbent(self.cost, self.solution)

@@ -1,0 +1,176 @@
+"""Regular search-tree shapes and per-depth node weights (paper §3.1).
+
+The interval coding of Mezmaz, Melab & Talbi applies to trees of
+*regular structure*: all nodes at the same depth have the same number of
+children, hence the same *weight* (number of leaves of the sub-tree
+rooted there, eq. 1).  A shape is therefore fully described by the
+branching factor at each depth.  The paper's two worked examples are
+
+* the **binary tree** — ``weight(n) = 2**(P - depth(n))`` (eq. 2), and
+* the **permutation tree** — ``weight(n) = (P - depth(n))!`` (eq. 3),
+  where every node has one child fewer than its father (eq. 4).
+
+:class:`TreeShape` precomputes the weight vector indexed by depth, which
+is exactly the vector the paper says is "calculated at the beginning of
+the B&B algorithm".
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Sequence, Tuple
+
+from repro.exceptions import TreeShapeError
+
+__all__ = ["TreeShape"]
+
+
+class TreeShape:
+    """Shape of a regular tree: branching factor per depth.
+
+    Parameters
+    ----------
+    branching:
+        ``branching[d]`` is the number of children of every node at
+        depth ``d``.  The tree has leaves at depth ``len(branching)``.
+
+    Notes
+    -----
+    Weights can be astronomically large (``50!`` for the paper's Ta056
+    permutation tree), so all arithmetic uses Python's arbitrary
+    precision integers; nothing here goes through floating point.
+    """
+
+    __slots__ = ("_branching", "_weights")
+
+    def __init__(self, branching: Sequence[int]):
+        branching = tuple(int(b) for b in branching)
+        if not branching:
+            raise TreeShapeError("a tree shape needs at least one level")
+        if any(b < 1 for b in branching):
+            raise TreeShapeError(
+                f"branching factors must be >= 1, got {branching!r}"
+            )
+        self._branching = branching
+        # weights[d] = number of leaves under a node at depth d (eq. 1).
+        # Computed bottom-up: weight of a leaf is 1, weight of an
+        # internal node is branching[d] * weight at depth d+1 because
+        # all its children share the same weight in a regular tree.
+        weights = [1] * (len(branching) + 1)
+        for d in range(len(branching) - 1, -1, -1):
+            weights[d] = branching[d] * weights[d + 1]
+        self._weights = tuple(weights)
+
+    # ------------------------------------------------------------------
+    # constructors for the paper's tree families
+    # ------------------------------------------------------------------
+    @classmethod
+    def permutation(cls, n: int) -> "TreeShape":
+        """Permutation tree over ``n`` elements (eq. 3 / eq. 4).
+
+        Depth ``d`` nodes have ``n - d`` children; leaves sit at depth
+        ``n`` and there are ``n!`` of them.
+        """
+        if n < 1:
+            raise TreeShapeError(f"permutation tree needs n >= 1, got {n}")
+        return cls(tuple(range(n, 0, -1)))
+
+    @classmethod
+    def binary(cls, depth: int) -> "TreeShape":
+        """Full binary tree with leaves at ``depth`` (eq. 2)."""
+        if depth < 1:
+            raise TreeShapeError(f"binary tree needs depth >= 1, got {depth}")
+        return cls((2,) * depth)
+
+    @classmethod
+    def uniform(cls, arity: int, depth: int) -> "TreeShape":
+        """Uniform ``arity``-ary tree with leaves at ``depth``."""
+        if depth < 1:
+            raise TreeShapeError(f"uniform tree needs depth >= 1, got {depth}")
+        return cls((arity,) * depth)
+
+    # ------------------------------------------------------------------
+    # basic geometry
+    # ------------------------------------------------------------------
+    @property
+    def branching(self) -> Tuple[int, ...]:
+        """Branching factor per depth (length = leaf depth)."""
+        return self._branching
+
+    @property
+    def leaf_depth(self) -> int:
+        """Depth ``P`` at which the leaves sit."""
+        return len(self._branching)
+
+    @property
+    def total_leaves(self) -> int:
+        """Number of leaves of the whole tree (= weight of the root)."""
+        return self._weights[0]
+
+    def weight(self, depth: int) -> int:
+        """Weight of any node at ``depth`` (eq. 1 specialised, §3.1)."""
+        self._check_depth(depth)
+        return self._weights[depth]
+
+    def weights(self) -> Tuple[int, ...]:
+        """The full per-depth weight vector (depth 0 .. leaf depth)."""
+        return self._weights
+
+    def num_children(self, depth: int) -> int:
+        """Number of children of a node at ``depth`` (0 for leaves)."""
+        self._check_depth(depth)
+        if depth == self.leaf_depth:
+            return 0
+        return self._branching[depth]
+
+    def is_leaf_depth(self, depth: int) -> bool:
+        return depth == self.leaf_depth
+
+    def node_count(self) -> int:
+        """Total number of nodes in the tree (root included).
+
+        Useful for exhaustive cross-checks on small trees; grows as the
+        sum over depths of the products of branching factors.
+        """
+        total = 1
+        level = 1
+        for b in self._branching:
+            level *= b
+            total += level
+        return total
+
+    def nodes_at_depth(self, depth: int) -> int:
+        """Number of nodes at a given depth."""
+        self._check_depth(depth)
+        return math.prod(self._branching[:depth])
+
+    def iter_depths(self) -> Iterator[int]:
+        """Iterate over all depths, root (0) to leaf depth inclusive."""
+        return iter(range(self.leaf_depth + 1))
+
+    # ------------------------------------------------------------------
+    # dunder plumbing
+    # ------------------------------------------------------------------
+    def _check_depth(self, depth: int) -> None:
+        if not 0 <= depth <= self.leaf_depth:
+            raise TreeShapeError(
+                f"depth {depth} outside [0, {self.leaf_depth}]"
+            )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TreeShape):
+            return NotImplemented
+        return self._branching == other._branching
+
+    def __hash__(self) -> int:
+        return hash(self._branching)
+
+    def __repr__(self) -> str:
+        if self._branching == tuple(range(len(self._branching), 0, -1)):
+            return f"TreeShape.permutation({len(self._branching)})"
+        if len(set(self._branching)) == 1:
+            b = self._branching[0]
+            if b == 2:
+                return f"TreeShape.binary({len(self._branching)})"
+            return f"TreeShape.uniform({b}, {len(self._branching)})"
+        return f"TreeShape({list(self._branching)!r})"

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so
+applications can catch library failures with a single ``except`` clause
+while still distinguishing the common cases.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class TreeShapeError(ReproError):
+    """A tree shape is malformed (empty, non-positive branching, ...)."""
+
+
+class NumberingError(ReproError):
+    """A node address (rank path) or node number is invalid for a shape."""
+
+
+class IntervalError(ReproError):
+    """An interval operation received inconsistent operands."""
+
+
+class FoldError(ReproError):
+    """An active list violates the DFS contiguity invariant (eq. 9)."""
+
+
+class EngineError(ReproError):
+    """The branch-and-bound engine was driven into an invalid state."""
+
+
+class ProblemError(ReproError):
+    """A :class:`~repro.core.problem.Problem` implementation misbehaved."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint file is missing, truncated or inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event grid simulator hit an invalid configuration."""
+
+
+class RuntimeProtocolError(ReproError):
+    """The multiprocessing runtime observed a protocol violation."""

@@ -1,0 +1,13 @@
+"""Grid substrate: discrete-event simulation and a real parallel runtime.
+
+* :mod:`repro.grid.simulator` — a discrete-event model of the paper's
+  experimental platform (heterogeneous clusters, volatile cycle-stolen
+  hosts, WAN latencies, crashes) executing the true farmer/worker
+  protocol state machines under a virtual clock.  This is the
+  substitution for Grid'5000 (DESIGN.md §2): the paper's measured
+  quantities are protocol statistics, which the simulator reproduces
+  at full scale in seconds.
+* :mod:`repro.grid.runtime` — a real multiprocessing farmer/worker
+  deployment for genuinely parallel exact solves on one machine, using
+  the same interval operators and checkpoint files.
+"""

@@ -1,0 +1,20 @@
+"""Peer-to-peer B&B on interval work units — the paper's future work.
+
+§6 of the paper: "It is also planned to use the approach with a peer
+to peer paradigm.  This paradigm makes it possible to push far the
+scalability limits of the method."  This package prototypes exactly
+that on the same substrate as the farmer–worker simulator: no
+coordinator; idle peers steal interval halves directly from random
+victims, improvements spread epidemically, and global termination is
+detected with a Safra-style counting token ring — the classic
+distributed-termination algorithm the farmer's INTERVALS-empty test
+replaces in the centralised design.
+
+Public surface::
+
+    from repro.grid.p2p import P2PConfig, P2PSimulation, P2PReport
+"""
+
+from repro.grid.p2p.run import P2PConfig, P2PReport, P2PSimulation
+
+__all__ = ["P2PConfig", "P2PReport", "P2PSimulation"]

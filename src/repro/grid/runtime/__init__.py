@@ -1,0 +1,34 @@
+"""Real parallel farmer–worker runtime on local processes.
+
+The same protocol as the simulator — pull-model workers, interval
+updates through the intersection operator, two-file checkpoints — but
+executed by genuine OS processes exchanging pickled messages over
+queues.  This is the deployment a user runs to exactly solve an
+instance in parallel on one machine (the paper's grid collapsed to a
+single host's cores).
+
+Public surface::
+
+    from repro.grid.runtime import (
+        ProblemSpec, RuntimeConfig, ParallelResult,
+        solve_parallel, Coordinator, flowshop_spec,
+    )
+"""
+
+from repro.grid.runtime.coordinator import Coordinator
+from repro.grid.runtime.launcher import (
+    ParallelResult,
+    RuntimeConfig,
+    solve_parallel,
+)
+from repro.grid.runtime.protocol import ProblemSpec, flowshop_spec, tsp_spec
+
+__all__ = [
+    "Coordinator",
+    "ParallelResult",
+    "ProblemSpec",
+    "RuntimeConfig",
+    "flowshop_spec",
+    "solve_parallel",
+    "tsp_spec",
+]

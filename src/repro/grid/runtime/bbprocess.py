@@ -1,0 +1,132 @@
+"""The worker process entry point of the multiprocessing runtime.
+
+Mirrors the simulated worker's session loop (pull work, explore in
+slices, push improvements, update the interval) but against real OS
+queues and a real clock.  The slice is counted in *nodes*, not
+seconds, so test runs with tiny instances stay deterministic.
+"""
+
+from __future__ import annotations
+
+import queue as queue_mod
+from typing import Optional
+
+from repro.core.engine import IntervalExplorer
+from repro.core.interval import Interval
+from repro.core.stats import Incumbent
+from repro.grid.runtime.protocol import (
+    Ack,
+    Bye,
+    GrantWork,
+    ProblemSpec,
+    Push,
+    Reconciled,
+    Request,
+    Terminate,
+    Update,
+)
+
+__all__ = ["worker_main"]
+
+
+def worker_main(
+    worker_id: str,
+    spec: ProblemSpec,
+    request_queue,
+    reply_queue,
+    update_nodes: int = 2000,
+    power: float = 1.0,
+    reply_timeout: float = 60.0,
+    crash_after_updates: Optional[int] = None,
+) -> None:
+    """Run one B&B process until the coordinator says terminate.
+
+    ``crash_after_updates`` makes the worker exit abruptly (no Bye)
+    after that many interval updates — the fault-injection hook the
+    fault-tolerance tests and example use.
+    """
+    problem = spec.build()
+    stats_total = {"nodes": 0, "updates": 0, "allocations": 0, "improvements": 0}
+    updates_sent = 0
+    best = {"cost": float("inf"), "solution": None}
+
+    def rpc(message):
+        request_queue.put(message)
+        try:
+            return reply_queue.get(timeout=reply_timeout)
+        except queue_mod.Empty:
+            return None  # coordinator gone: die silently like a crash
+
+    def reinform_if_stale(global_best):
+        # The coordinator believes something worse than our local best
+        # (it recovered from an old checkpoint): push ours again.
+        if best["solution"] is not None and global_best > best["cost"]:
+            rpc(Push(worker_id, best["cost"], best["solution"]))
+
+    while True:
+        reply = rpc(Request(worker_id, power))
+        if reply is None or isinstance(reply, Terminate):
+            break
+        assert isinstance(reply, GrantWork)
+        stats_total["allocations"] += 1
+        reinform_if_stale(reply.best_cost)
+        interval = Interval.from_tuple(reply.interval)
+        improvements: list = []
+        explorer = IntervalExplorer(
+            problem,
+            interval,
+            incumbent=Incumbent(min(reply.best_cost, best["cost"]), None),
+            on_improvement=lambda c, s: improvements.append((c, s)),
+        )
+        terminate = False
+        while not explorer.is_finished():
+            before = explorer.remaining_interval()
+            report = explorer.step(update_nodes)
+            after = explorer.remaining_interval()
+            consumed = max(
+                0, min(after.begin, before.end) - before.begin
+            )
+            if report.finished:
+                consumed = before.length
+            stats_total["nodes"] += report.nodes_processed
+
+            if improvements:
+                cost, solution = improvements[-1]
+                improvements.clear()
+                stats_total["improvements"] += 1
+                if cost < best["cost"]:
+                    best["cost"], best["solution"] = cost, solution
+                ack = rpc(Push(worker_id, cost, solution))
+                if ack is None:
+                    return
+                if isinstance(ack, Ack):
+                    explorer.set_upper_bound(ack.best_cost, None)
+
+            reconciled = rpc(
+                Update(
+                    worker_id,
+                    explorer.remaining_interval().as_tuple(),
+                    nodes=report.nodes_processed,
+                    consumed=consumed,
+                )
+            )
+            if reconciled is None:
+                return
+            stats_total["updates"] += 1
+            updates_sent += 1
+            if (
+                crash_after_updates is not None
+                and updates_sent >= crash_after_updates
+            ):
+                return  # simulated crash: no Bye, interval left behind
+            if isinstance(reconciled, Terminate):
+                terminate = True
+                break
+            assert isinstance(reconciled, Reconciled)
+            reinform_if_stale(reconciled.best_cost)
+            explorer.apply_interval(Interval.from_tuple(reconciled.interval))
+            explorer.set_upper_bound(reconciled.best_cost, None)
+        if terminate:
+            break
+
+    request_queue.put(Bye(worker_id, stats_total))

@@ -1,0 +1,157 @@
+"""The real coordinator: INTERVALS + SOLUTION behind a message loop.
+
+Pure protocol logic — no process or queue handling here (the launcher
+owns those), which keeps the coordinator unit-testable by feeding it
+messages directly.  The state and operators are exactly the ones the
+simulator uses: :class:`~repro.core.interval_set.IntervalSet`,
+:class:`~repro.core.stats.Incumbent`, and the two-file
+:class:`~repro.core.checkpoint.CheckpointStore`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Optional
+
+from repro.core.checkpoint import CheckpointStore
+from repro.core.interval import Interval
+from repro.core.interval_set import IntervalSet
+from repro.core.stats import Incumbent
+from repro.exceptions import RuntimeProtocolError
+from repro.grid.runtime.protocol import (
+    Ack,
+    Bye,
+    GrantWork,
+    Push,
+    Reconciled,
+    Request,
+    Terminate,
+    Update,
+)
+
+__all__ = ["Coordinator"]
+
+
+class Coordinator:
+    """Handles worker messages against the INTERVALS/SOLUTION state.
+
+    Parameters
+    ----------
+    root_interval:
+        The whole search space (range of the root node).
+    duplication_threshold:
+        §4.2's split-vs-duplicate cutoff.
+    store:
+        Optional checkpoint store; when given, :meth:`maybe_checkpoint`
+        persists INTERVALS and SOLUTION every ``checkpoint_period``
+        wall seconds, and :meth:`recover` restores them.
+    """
+
+    def __init__(
+        self,
+        root_interval: Interval,
+        duplication_threshold: int = 1,
+        store: Optional[CheckpointStore] = None,
+        checkpoint_period: float = 5.0,
+        initial_best: Optional[Incumbent] = None,
+    ):
+        self.intervals = IntervalSet.initial(root_interval, duplication_threshold)
+        self.solution = (initial_best or Incumbent()).copy()
+        self.store = store
+        self.checkpoint_period = checkpoint_period
+        self._last_checkpoint = time.monotonic()
+        self._powers: Dict[str, float] = {}
+        self.terminated = False
+        # Table 2-style counters
+        self.worker_checkpoint_ops = 0
+        self.work_allocations = 0
+        self.nodes_explored = 0
+        self.leaves_consumed = 0
+        self.improvements = 0
+        self.byes: Dict[str, Dict[str, int]] = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def recover(
+        cls,
+        store: CheckpointStore,
+        root_interval: Interval,
+        duplication_threshold: int = 1,
+        checkpoint_period: float = 5.0,
+    ) -> "Coordinator":
+        """Restart after a farmer failure: reload the two files (§4.1)."""
+        intervals, incumbent = store.load(duplication_threshold)
+        coord = cls(
+            root_interval,
+            duplication_threshold,
+            store,
+            checkpoint_period,
+            initial_best=incumbent,
+        )
+        if intervals is not None:
+            coord.intervals = intervals
+        return coord
+
+    # ------------------------------------------------------------------
+    def handle(self, message: Any) -> Optional[Any]:
+        """Process one worker message; return the reply (None for Bye)."""
+        if isinstance(message, Request):
+            return self._on_request(message)
+        if isinstance(message, Update):
+            return self._on_update(message)
+        if isinstance(message, Push):
+            return self._on_push(message)
+        if isinstance(message, Bye):
+            self.byes[message.worker] = message.stats
+            return None
+        raise RuntimeProtocolError(
+            f"coordinator cannot handle {type(message).__name__}"
+        )
+
+    def _on_request(self, msg: Request):
+        self._powers[msg.worker] = msg.power
+        if self.intervals.is_empty():
+            self.terminated = True
+            return Terminate(self.solution.cost)
+        assignment = self.intervals.assign(msg.worker, msg.power, self._powers)
+        if assignment is None:
+            self.terminated = True
+            return Terminate(self.solution.cost)
+        self.work_allocations += 1
+        return GrantWork(assignment.interval.as_tuple(), self.solution.cost)
+
+    def _on_update(self, msg: Update):
+        merged = self.intervals.update(msg.worker, Interval.from_tuple(msg.interval))
+        self.worker_checkpoint_ops += 1
+        self.nodes_explored += msg.nodes
+        self.leaves_consumed += msg.consumed
+        if self.intervals.is_empty():
+            self.terminated = True
+        return Reconciled(merged.as_tuple(), self.solution.cost)
+
+    def _on_push(self, msg: Push):
+        if self.solution.update(msg.cost, msg.solution):
+            self.improvements += 1
+        return Ack(self.solution.cost)
+
+    # ------------------------------------------------------------------
+    def release_worker(self, worker: str) -> None:
+        """A worker process died: orphan its interval (§4.1)."""
+        self.intervals.release(worker)
+        self._powers.pop(worker, None)
+
+    def maybe_checkpoint(self, force: bool = False) -> bool:
+        """Persist INTERVALS and SOLUTION when the period elapsed."""
+        if self.store is None:
+            return False
+        now = time.monotonic()
+        if not force and now - self._last_checkpoint < self.checkpoint_period:
+            return False
+        self.store.save(self.intervals, self.solution)
+        self._last_checkpoint = now
+        return True
+
+    def redundant_rate(self, total_leaves: int) -> float:
+        if self.leaves_consumed <= 0:
+            return 0.0
+        return max(0, self.leaves_consumed - total_leaves) / self.leaves_consumed

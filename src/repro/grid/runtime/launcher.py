@@ -1,0 +1,160 @@
+"""Launcher: spawn worker processes, pump the coordinator, collect results.
+
+``solve_parallel`` is the user-facing call: it builds the coordinator
+in the parent process, forks ``workers`` B&B processes, routes queue
+messages until the termination condition (INTERVALS empty) is reached
+and every live worker said goodbye, and returns the proved optimum
+with aggregate statistics.
+
+Worker death is detected through process sentinels: a worker that
+exits without a Bye gets its interval released (orphaned), which the
+load balancer then hands to the survivors — the §4.1 recovery path,
+exercised for real by ``crash_workers``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.core.checkpoint import CheckpointStore
+from repro.core.interval import Interval
+from repro.core.stats import Incumbent
+from repro.exceptions import RuntimeProtocolError
+from repro.grid.runtime.bbprocess import worker_main
+from repro.grid.runtime.coordinator import Coordinator
+from repro.grid.runtime.protocol import Bye, ProblemSpec
+
+__all__ = ["RuntimeConfig", "ParallelResult", "solve_parallel"]
+
+
+@dataclass
+class RuntimeConfig:
+    """Tuning of a parallel run."""
+
+    workers: int = 2
+    update_nodes: int = 2000  # slice size between interval updates
+    duplication_threshold: int = 64
+    checkpoint_dir: Optional[Path] = None
+    checkpoint_period: float = 2.0
+    initial_upper_bound: float = float("inf")
+    initial_solution: Any = None
+    deadline: float = 300.0  # wall-clock safety net (seconds)
+    crash_workers: Dict[int, int] = field(default_factory=dict)
+    # worker index -> crash after that many updates (fault injection)
+
+
+@dataclass
+class ParallelResult:
+    """Outcome of a parallel resolution."""
+
+    cost: float
+    solution: Any
+    optimal: bool
+    wall_seconds: float
+    workers: int
+    work_allocations: int
+    checkpoint_operations: int
+    nodes_explored: int
+    redundant_rate: float
+    worker_stats: Dict[str, Dict[str, int]]
+    crashed_workers: List[str]
+
+
+def solve_parallel(spec: ProblemSpec, config: Optional[RuntimeConfig] = None) -> ParallelResult:
+    """Exactly solve ``spec`` with a farmer and N worker processes."""
+    config = config or RuntimeConfig()
+    if config.workers < 1:
+        raise RuntimeProtocolError("need at least one worker")
+    problem = spec.build()
+    total_leaves = problem.total_leaves()
+    store = (
+        CheckpointStore(Path(config.checkpoint_dir))
+        if config.checkpoint_dir is not None
+        else None
+    )
+    coordinator = Coordinator(
+        Interval(0, total_leaves),
+        duplication_threshold=config.duplication_threshold,
+        store=store,
+        checkpoint_period=config.checkpoint_period,
+        initial_best=Incumbent(
+            config.initial_upper_bound, config.initial_solution
+        ),
+    )
+
+    ctx = mp.get_context("fork") if hasattr(mp, "get_context") else mp
+    request_queue = ctx.Queue()
+    reply_queues = {}
+    processes: Dict[str, Any] = {}
+    for i in range(config.workers):
+        worker_id = f"worker-{i}"
+        reply_queues[worker_id] = ctx.Queue()
+        proc = ctx.Process(
+            target=worker_main,
+            args=(worker_id, spec, request_queue, reply_queues[worker_id]),
+            kwargs={
+                "update_nodes": config.update_nodes,
+                "crash_after_updates": config.crash_workers.get(i),
+            },
+            daemon=True,
+        )
+        processes[worker_id] = proc
+        proc.start()
+
+    started = time.monotonic()
+    done_workers: set = set()
+    crashed: List[str] = []
+    try:
+        while len(done_workers) < len(processes):
+            if time.monotonic() - started > config.deadline:
+                raise RuntimeProtocolError(
+                    f"parallel solve exceeded the {config.deadline}s deadline"
+                )
+            coordinator.maybe_checkpoint()
+            try:
+                message = request_queue.get(timeout=0.05)
+            except queue_mod.Empty:
+                # Only with a drained queue do we look for crashes —
+                # a worker that exits right after its Bye must not be
+                # misread as dead before the Bye is processed.
+                for worker_id, proc in processes.items():
+                    if worker_id not in done_workers and not proc.is_alive():
+                        done_workers.add(worker_id)
+                        crashed.append(worker_id)
+                        coordinator.release_worker(worker_id)
+                continue
+            reply = coordinator.handle(message)
+            if isinstance(message, Bye):
+                done_workers.add(message.worker)
+                if message.worker in crashed:
+                    crashed.remove(message.worker)  # late Bye won the race
+                continue
+            if reply is not None:
+                reply_queues[message.worker].put(reply)
+    finally:
+        coordinator.maybe_checkpoint(force=True)
+        for proc in processes.values():
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+
+    optimal = coordinator.intervals.is_empty()
+    return ParallelResult(
+        cost=coordinator.solution.cost,
+        solution=coordinator.solution.solution,
+        optimal=optimal,
+        wall_seconds=time.monotonic() - started,
+        workers=config.workers,
+        work_allocations=coordinator.work_allocations,
+        checkpoint_operations=coordinator.worker_checkpoint_ops,
+        nodes_explored=coordinator.nodes_explored,
+        redundant_rate=coordinator.redundant_rate(total_leaves),
+        worker_stats=dict(coordinator.byes),
+        crashed_workers=crashed,
+    )

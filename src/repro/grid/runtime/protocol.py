@@ -1,0 +1,134 @@
+"""Wire protocol of the multiprocessing runtime.
+
+Messages are small picklable dataclasses; intervals travel as
+``(begin, end)`` integer pairs — the paper's two-number work units.
+Problems cross the process boundary as a :class:`ProblemSpec` (a
+module-level factory plus arguments) so workers rebuild their own
+problem object instead of pickling caches and NumPy views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.core.problem import Problem
+
+__all__ = [
+    "ProblemSpec",
+    "flowshop_spec",
+    "tsp_spec",
+    "Request",
+    "Update",
+    "Push",
+    "Bye",
+    "GrantWork",
+    "Reconciled",
+    "Ack",
+    "Terminate",
+]
+
+
+@dataclass(frozen=True)
+class ProblemSpec:
+    """Recipe for building the same Problem in every process."""
+
+    factory: Callable[..., Problem]
+    args: Tuple = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    def build(self) -> Problem:
+        return self.factory(*self.args, **dict(self.kwargs))
+
+
+def _build_flowshop(processing_times, name, bound, pair_strategy) -> Problem:
+    from repro.problems.flowshop import FlowShopInstance, FlowShopProblem
+
+    return FlowShopProblem(
+        FlowShopInstance(processing_times, name=name),
+        bound=bound,
+        pair_strategy=pair_strategy,
+    )
+
+
+def flowshop_spec(
+    instance, bound: str = "combined", pair_strategy: str = "adjacent+ends"
+) -> ProblemSpec:
+    """Spec for a :class:`~repro.problems.flowshop.FlowShopInstance`."""
+    return ProblemSpec(
+        _build_flowshop,
+        (
+            instance.processing_times.tolist(),
+            instance.name,
+            bound,
+            pair_strategy,
+        ),
+    )
+
+
+def _build_tsp(distances, name) -> Problem:
+    from repro.problems.tsp import TSPInstance, TSPProblem
+
+    return TSPProblem(TSPInstance(distances, name=name))
+
+
+def tsp_spec(instance) -> ProblemSpec:
+    """Spec for a :class:`~repro.problems.tsp.TSPInstance`."""
+    return ProblemSpec(_build_tsp, (instance.distances.tolist(), instance.name))
+
+
+# ----------------------------------------------------------------------
+# worker -> coordinator
+# ----------------------------------------------------------------------
+@dataclass
+class Request:
+    worker: str
+    power: float = 1.0
+
+
+@dataclass
+class Update:
+    worker: str
+    interval: Tuple[int, int]
+    nodes: int  # nodes explored since the previous update
+    consumed: int
+
+
+@dataclass
+class Push:
+    worker: str
+    cost: float
+    solution: Any
+
+
+@dataclass
+class Bye:
+    """Graceful exit after a terminate reply; carries final stats."""
+
+    worker: str
+    stats: Dict[str, int]
+
+
+# ----------------------------------------------------------------------
+# coordinator -> worker
+# ----------------------------------------------------------------------
+@dataclass
+class GrantWork:
+    interval: Tuple[int, int]
+    best_cost: float
+
+
+@dataclass
+class Reconciled:
+    interval: Tuple[int, int]
+    best_cost: float
+
+
+@dataclass
+class Ack:
+    best_cost: float
+
+
+@dataclass
+class Terminate:
+    best_cost: float

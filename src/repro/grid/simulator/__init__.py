@@ -1,0 +1,79 @@
+"""Discrete-event simulator of the paper's computational grid.
+
+Public surface::
+
+    from repro.grid.simulator import (
+        GridSimulation, SimulationConfig, SimulationReport,
+        SimClock, RngRegistry,
+        PlatformSpec, paper_platform, small_platform,
+        NetworkModel, AvailabilityModel, FarmerFailurePlan,
+        FarmerConfig, WorkerConfig,
+        RealBBWorkload, SyntheticWorkload,
+        MetricsCollector, Table2Stats,
+    )
+"""
+
+from repro.grid.simulator.availability import (
+    AvailabilityModel,
+    AvailabilityTrace,
+    paper_availability_model,
+)
+from repro.grid.simulator.events import SimClock
+from repro.grid.simulator.failures import FarmerFailurePlan
+from repro.grid.simulator.farmer import FarmerConfig, SimFarmer
+from repro.grid.simulator.metrics import MetricsCollector, Table2Stats
+from repro.grid.simulator.network import LinkSpec, NetworkModel
+from repro.grid.simulator.platform import (
+    PAPER_POOL_ROWS,
+    ClusterSpec,
+    HostSpec,
+    PlatformSpec,
+    paper_platform,
+    small_platform,
+)
+from repro.grid.simulator.rng import RngRegistry, stable_seed
+from repro.grid.simulator.run import (
+    GridSimulation,
+    SimulationConfig,
+    SimulationReport,
+)
+from repro.grid.simulator.worker import SimWorker, WorkerConfig
+from repro.grid.simulator.workload import (
+    AdvanceReport,
+    RealBBWorkload,
+    SyntheticWorkload,
+    Workload,
+    WorkUnit,
+)
+
+__all__ = [
+    "AdvanceReport",
+    "AvailabilityModel",
+    "AvailabilityTrace",
+    "ClusterSpec",
+    "FarmerConfig",
+    "FarmerFailurePlan",
+    "GridSimulation",
+    "HostSpec",
+    "LinkSpec",
+    "MetricsCollector",
+    "NetworkModel",
+    "PAPER_POOL_ROWS",
+    "PlatformSpec",
+    "RealBBWorkload",
+    "RngRegistry",
+    "SimClock",
+    "SimFarmer",
+    "SimWorker",
+    "SimulationConfig",
+    "SimulationReport",
+    "SyntheticWorkload",
+    "Table2Stats",
+    "WorkUnit",
+    "WorkerConfig",
+    "Workload",
+    "paper_availability_model",
+    "paper_platform",
+    "small_platform",
+    "stable_seed",
+]

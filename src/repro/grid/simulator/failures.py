@@ -1,0 +1,63 @@
+"""Failure models (paper §4.1).
+
+Worker failures need no model of their own: the cycle-stealing
+availability traces already make hosts vanish without warning, which
+is indistinguishable from a crash for the protocol (no goodbye
+message, interval copy left behind at the coordinator).
+
+The farmer, however, fails explicitly: the coordinator process crashes
+and restarts after a downtime, losing its in-memory ``INTERVALS`` and
+``SOLUTION`` and recovering both from the two checkpoint files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+
+__all__ = ["FarmerFailurePlan"]
+
+
+@dataclass
+class FarmerFailurePlan:
+    """When the farmer crashes and for how long it stays down.
+
+    ``outages`` is a sorted list of ``(crash_time, downtime_seconds)``.
+    """
+
+    outages: List[Tuple[float, float]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        last_end = -1.0
+        for crash, downtime in self.outages:
+            if downtime < 0:
+                raise SimulationError(f"negative downtime at t={crash}")
+            if crash <= last_end:
+                raise SimulationError(
+                    "farmer outages must be sorted and non-overlapping"
+                )
+            last_end = crash + downtime
+
+    @classmethod
+    def poisson(
+        cls,
+        horizon: float,
+        mean_interval: float,
+        mean_downtime: float,
+        rng: np.random.Generator,
+    ) -> "FarmerFailurePlan":
+        """Random plan: exponential inter-crash times and downtimes."""
+        outages: List[Tuple[float, float]] = []
+        t = float(rng.exponential(mean_interval))
+        while t < horizon:
+            downtime = float(rng.exponential(mean_downtime))
+            outages.append((t, downtime))
+            t += downtime + float(rng.exponential(mean_interval))
+        return cls(outages)
+
+    def is_down(self, t: float) -> bool:
+        return any(crash <= t < crash + downtime for crash, downtime in self.outages)

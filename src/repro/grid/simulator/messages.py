@@ -1,0 +1,124 @@
+"""Protocol messages between B&B processes and the coordinator (§4).
+
+Workers pull: every exchange is worker-initiated (the paper's workers
+may sit behind firewalls, §4).  The coordinator only ever *replies*.
+
+Message sizes matter — the paper's headline claim is that interval
+coding makes them tiny and constant.  ``wire_size`` therefore models a
+realistic serialisation: a few integers for interval messages versus
+per-node payloads if one shipped explicit active lists (the
+``bench_encoding_cost`` benchmark quantifies the difference).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+from repro.core.interval import Interval
+
+__all__ = [
+    "WorkRequest",
+    "WorkReply",
+    "IntervalUpdate",
+    "UpdateReply",
+    "SolutionPush",
+    "SolutionAck",
+    "wire_size",
+    "interval_wire_size",
+    "active_list_wire_size",
+]
+
+_HEADER = 16  # message type + ids + framing
+_INT_BYTES = 32  # one arbitrary-precision node number (covers 50! ~ 2^214)
+_COST_BYTES = 8
+
+
+def interval_wire_size(interval: Optional[Interval]) -> int:
+    """Bytes to ship one interval: two big integers."""
+    return 2 * _INT_BYTES if interval is not None else 0
+
+
+def active_list_wire_size(cardinality: int, depth: int) -> int:
+    """Bytes to ship an explicit active list (the coding the paper
+    replaces): each node needs its rank path (~depth small ints)."""
+    return cardinality * (4 * depth + 8)
+
+
+@dataclass
+class WorkRequest:
+    """Worker has no work: first join or exhausted interval (§4.2)."""
+
+    worker: str
+    power: float
+
+    def wire_size(self) -> int:
+        return _HEADER + 8
+
+
+@dataclass
+class WorkReply:
+    """Coordinator's answer: an interval, or terminate=True (§4.3)."""
+
+    interval: Optional[Interval]
+    best_cost: float
+    terminate: bool = False
+
+    def wire_size(self) -> int:
+        return _HEADER + interval_wire_size(self.interval) + _COST_BYTES
+
+
+@dataclass
+class IntervalUpdate:
+    """Periodic checkpoint push: the worker's remaining interval (§4.1).
+
+    ``consumed`` is the interval length explored since the previous
+    update (for the redundancy accounting); ``nodes`` the tree nodes
+    visited in the same window (Table 2's explored-node count).
+    """
+
+    worker: str
+    interval: Interval
+    consumed: int
+    nodes: int
+
+    def wire_size(self) -> int:
+        return _HEADER + interval_wire_size(self.interval) + 2 * _INT_BYTES
+
+
+@dataclass
+class UpdateReply:
+    """Reconciled interval (eq. 14 result) + current global best."""
+
+    interval: Interval
+    best_cost: float
+
+    def wire_size(self) -> int:
+        return _HEADER + interval_wire_size(self.interval) + _COST_BYTES
+
+
+@dataclass
+class SolutionPush:
+    """Immediate improvement notification (sharing rule 2, §4.4)."""
+
+    worker: str
+    cost: float
+    solution: Any
+
+    def wire_size(self) -> int:
+        payload = len(self.solution) * 2 if hasattr(self.solution, "__len__") else 8
+        return _HEADER + _COST_BYTES + payload
+
+
+@dataclass
+class SolutionAck:
+    """Reply to a push: the (possibly better) global best."""
+
+    best_cost: float
+
+    def wire_size(self) -> int:
+        return _HEADER + _COST_BYTES
+
+
+def wire_size(message: Any) -> int:
+    return message.wire_size()

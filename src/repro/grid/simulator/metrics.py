@@ -1,0 +1,174 @@
+"""Metrics collection: everything Table 2 and Figure 7 report.
+
+The paper's execution statistics (Table 2) are:
+
+    Running wall clock time | Total cpu time | Average number of
+    workers | Maximum number of workers | Worker CPU exploitation |
+    Coordinator CPU exploitation | Checkpoint operations | Work
+    allocations | Explored nodes | Redundant nodes
+
+plus Figure 7's time series of exploited processors.  The collector
+accumulates the raw events; :meth:`MetricsCollector.table2` reduces
+them with the same definitions the paper uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Table2Stats", "MetricsCollector"]
+
+
+@dataclass
+class Table2Stats:
+    """One row set of the paper's Table 2 (plus the optimum found)."""
+
+    wall_clock_seconds: float
+    total_cpu_seconds: float
+    average_workers: float
+    maximum_workers: int
+    worker_exploitation: float  # 0..1
+    coordinator_exploitation: float  # 0..1
+    checkpoint_operations: int
+    work_allocations: int
+    explored_nodes: int
+    redundant_node_rate: float  # 0..1
+    best_cost: float
+    optimum_proved: bool
+
+    def rows(self) -> List[Tuple[str, str]]:
+        """(label, value) pairs in the paper's Table 2 order."""
+        days = self.wall_clock_seconds / 86_400
+        years = self.total_cpu_seconds / (365.25 * 86_400)
+        return [
+            ("Running wall clock time", f"{days:.2f} days"),
+            ("Total cpu time", f"{years:.2f} years"),
+            ("Average number of workers", f"{self.average_workers:.0f}"),
+            ("Maximum number of workers", f"{self.maximum_workers:,}"),
+            ("Worker CPU exploitation", f"{self.worker_exploitation:.0%}"),
+            ("Coordinator CPU exploitation", f"{self.coordinator_exploitation:.1%}"),
+            ("Checkpoint operations", f"{self.checkpoint_operations:,}"),
+            ("Work allocations", f"{self.work_allocations:,}"),
+            ("Explored nodes", f"{self.explored_nodes:.4e}"),
+            ("Redundant nodes", f"{self.redundant_node_rate:.2%}"),
+        ]
+
+
+class MetricsCollector:
+    """Accumulates simulator events into the paper's statistics."""
+
+    def __init__(self, total_leaves: int):
+        self.total_leaves = total_leaves
+        # worker accounting
+        self.worker_busy: Dict[str, float] = {}
+        self.worker_available: Dict[str, float] = {}
+        self.nodes_explored = 0
+        self.leaves_consumed = 0
+        # farmer accounting
+        self.farmer_busy = 0.0
+        self.farmer_span = 0.0
+        self.farmer_checkpoints = 0
+        # protocol counters (mirrors of IntervalSet counters + messages)
+        self.worker_checkpoint_ops = 0
+        self.work_allocations = 0
+        self.messages = 0
+        self.message_bytes = 0
+        # availability time series for Figure 7
+        self._active = 0
+        self.series: List[Tuple[float, int]] = [(0.0, 0)]
+        # solution trajectory
+        self.improvements: List[Tuple[float, float]] = []  # (time, cost)
+
+    # ------------------------------------------------------------------
+    # event hooks
+    # ------------------------------------------------------------------
+    def worker_joined(self, t: float) -> None:
+        self._active += 1
+        self.series.append((t, self._active))
+
+    def worker_left(self, t: float) -> None:
+        self._active -= 1
+        self.series.append((t, self._active))
+
+    def add_busy(self, worker: str, seconds: float) -> None:
+        self.worker_busy[worker] = self.worker_busy.get(worker, 0.0) + seconds
+
+    def add_available(self, worker: str, seconds: float) -> None:
+        self.worker_available[worker] = (
+            self.worker_available.get(worker, 0.0) + seconds
+        )
+
+    def add_exploration(self, nodes: int, consumed: int) -> None:
+        self.nodes_explored += nodes
+        self.leaves_consumed += consumed
+
+    def add_farmer_busy(self, seconds: float) -> None:
+        self.farmer_busy += seconds
+
+    def message_sent(self, size_bytes: int) -> None:
+        self.messages += 1
+        self.message_bytes += size_bytes
+
+    def solution_improved(self, t: float, cost: float) -> None:
+        self.improvements.append((t, cost))
+
+    # ------------------------------------------------------------------
+    # reductions
+    # ------------------------------------------------------------------
+    def availability_series(
+        self, sample_period: Optional[float] = None, horizon: Optional[float] = None
+    ) -> List[Tuple[float, int]]:
+        """Figure 7's series; optionally resampled on a regular grid."""
+        if sample_period is None:
+            return list(self.series)
+        horizon = horizon if horizon is not None else self.series[-1][0]
+        out: List[Tuple[float, int]] = []
+        idx = 0
+        current = 0
+        t = 0.0
+        while t <= horizon:
+            while idx < len(self.series) and self.series[idx][0] <= t:
+                current = self.series[idx][1]
+                idx += 1
+            out.append((t, current))
+            t += sample_period
+        return out
+
+    def average_and_peak_workers(self, horizon: float) -> Tuple[float, int]:
+        """Time-weighted average and max of the active-worker count."""
+        if horizon <= 0:
+            return 0.0, 0
+        total = 0.0
+        peak = 0
+        for (t0, n), (t1, _) in zip(self.series, self.series[1:] + [(horizon, 0)]):
+            span = max(0.0, min(t1, horizon) - min(t0, horizon))
+            total += n * span
+            peak = max(peak, n)
+        return total / horizon, peak
+
+    def table2(
+        self, wall_clock: float, best_cost: float, optimum_proved: bool
+    ) -> Table2Stats:
+        avg, peak = self.average_and_peak_workers(wall_clock)
+        busy = sum(self.worker_busy.values())
+        available = sum(self.worker_available.values())
+        overlap = max(0, self.leaves_consumed - self.total_leaves)
+        return Table2Stats(
+            wall_clock_seconds=wall_clock,
+            total_cpu_seconds=busy,
+            average_workers=avg,
+            maximum_workers=peak,
+            worker_exploitation=busy / available if available > 0 else 0.0,
+            coordinator_exploitation=(
+                self.farmer_busy / wall_clock if wall_clock > 0 else 0.0
+            ),
+            checkpoint_operations=self.worker_checkpoint_ops,
+            work_allocations=self.work_allocations,
+            explored_nodes=self.nodes_explored,
+            redundant_node_rate=(
+                overlap / self.leaves_consumed if self.leaves_consumed else 0.0
+            ),
+            best_cost=best_cost,
+            optimum_proved=optimum_proved,
+        )

@@ -1,0 +1,61 @@
+"""Network model: message latencies across the multi-cluster grid.
+
+The paper's platform (§5.2) wires machines inside a cluster with
+Gigabit Ethernet (100 Mb for IUT-A), the three campus clusters
+together with a Gigabit link, and everything else over the 2.5 Gb/s
+RENATER national backbone.  The simulator reduces this to a
+per-message delay ``base_latency(src, dst) + size / bandwidth(src,
+dst)`` — enough to make WAN chatter visibly more expensive than LAN
+chatter, which is what the interval coding optimises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+__all__ = ["LinkSpec", "NetworkModel"]
+
+GIGABIT = 125_000_000.0  # bytes/second
+MEGABIT_100 = 12_500_000.0
+RENATER = 312_500_000.0  # 2.5 Gb/s
+
+
+@dataclass
+class LinkSpec:
+    """One directed-pair link description."""
+
+    latency: float  # seconds, one way
+    bandwidth: float  # bytes per second
+
+
+@dataclass
+class NetworkModel:
+    """Latency/bandwidth lookup between cluster names.
+
+    ``intra`` is used when src == dst, ``campus`` between clusters that
+    both appear in ``campus_clusters`` (the Lille campus Gigabit link),
+    ``wan`` otherwise (RENATER).  Explicit overrides win.
+    """
+
+    intra: LinkSpec = field(default_factory=lambda: LinkSpec(100e-6, GIGABIT))
+    campus: LinkSpec = field(default_factory=lambda: LinkSpec(500e-6, GIGABIT))
+    wan: LinkSpec = field(default_factory=lambda: LinkSpec(10e-3, RENATER))
+    campus_clusters: Tuple[str, ...] = ()
+    overrides: Dict[Tuple[str, str], LinkSpec] = field(default_factory=dict)
+
+    def link(self, src: str, dst: str) -> LinkSpec:
+        if (src, dst) in self.overrides:
+            return self.overrides[(src, dst)]
+        if (dst, src) in self.overrides:
+            return self.overrides[(dst, src)]
+        if src == dst:
+            return self.intra
+        if src in self.campus_clusters and dst in self.campus_clusters:
+            return self.campus
+        return self.wan
+
+    def delay(self, src: str, dst: str, size_bytes: int) -> float:
+        """One-way delivery delay for a message of ``size_bytes``."""
+        spec = self.link(src, dst)
+        return spec.latency + size_bytes / spec.bandwidth

@@ -1,0 +1,10 @@
+"""Problem substrates for the grid-enabled B&B.
+
+* :mod:`repro.problems.flowshop` — the paper's evaluation problem: the
+  permutation flow-shop (Taillard benchmark instances, NEH upper
+  bounds, one- and two-machine lower bounds).
+* :mod:`repro.problems.tsp` — small symmetric TSP (the problem class of
+  the Sw24978/D15112/Usa13509 record runs in Table 3).
+* :mod:`repro.problems.qap` — quadratic assignment with the
+  Gilmore–Lawler bound (Table 3's Nug30 class).
+"""

@@ -1,0 +1,180 @@
+"""Lower bounds for partial permutation flow-shop schedules.
+
+Two classic bounds drive the B&B (both are admissible — never exceed
+the best completion reachable below a node; the test suite checks this
+exhaustively against brute force on small instances):
+
+* **one-machine bound** (LB1): for each machine ``j``, the unscheduled
+  jobs need ``sum_i p[i, j]`` time on ``j`` after its current
+  availability ``front[j]``, and the last of them still needs at least
+  ``min_i tail[i, j]`` to reach the end of the line.
+* **two-machine bound** (LB2, Lageweg–Lenstra–Rinnooy Kan): relax the
+  shop to machine pairs ``(j, k)`` with the machines in between turned
+  into per-job *lags*; each relaxed problem is an F2 with lags, solved
+  exactly by Johnson's rule on ``(a + lag, lag + b)`` (Mitten), giving
+  a makespan lower bound per pair.
+
+The pair-wise Johnson orders depend only on the instance, so they are
+precomputed once in :class:`BoundData`; per node the bound is a linear
+scan of the unscheduled jobs in the precomputed order — the hot loop
+the HPC guides say to keep tight (NumPy arrays, no re-sorting).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ProblemError
+from repro.problems.flowshop.instance import FlowShopInstance
+from repro.problems.flowshop.johnson import johnson_order
+from repro.problems.flowshop.makespan import tails_matrix
+
+__all__ = ["BoundData", "machine_pairs", "one_machine_bound", "two_machine_bound"]
+
+
+def machine_pairs(machines: int, strategy: str = "adjacent+ends") -> List[Tuple[int, int]]:
+    """Machine pairs the two-machine bound relaxes to.
+
+    * ``"adjacent"`` — consecutive pairs ``(j, j+1)``;
+    * ``"adjacent+ends"`` — consecutive pairs plus ``(0, M-1)``
+      (a good cost/strength default);
+    * ``"all"`` — every ``(j, k)``, ``j < k`` (strongest, O(M^2) pairs).
+    """
+    if machines < 2:
+        return []
+    adjacent = [(j, j + 1) for j in range(machines - 1)]
+    if strategy == "adjacent":
+        return adjacent
+    if strategy == "adjacent+ends":
+        ends = (0, machines - 1)
+        return adjacent + ([ends] if ends not in adjacent else [])
+    if strategy == "all":
+        return [(j, k) for j in range(machines) for k in range(j + 1, machines)]
+    raise ProblemError(
+        f"unknown machine-pair strategy {strategy!r}; "
+        f"use 'adjacent', 'adjacent+ends' or 'all'"
+    )
+
+
+class BoundData:
+    """Instance-wide precomputation shared by every node's bound.
+
+    Parameters
+    ----------
+    instance:
+        The flow-shop instance.
+    pair_strategy:
+        Which machine pairs LB2 uses (see :func:`machine_pairs`).
+    """
+
+    def __init__(
+        self, instance: FlowShopInstance, pair_strategy: str = "adjacent+ends"
+    ):
+        self.instance = instance
+        p = instance.processing_times
+        self.p = p
+        self.tails = tails_matrix(instance)
+        self.pairs = machine_pairs(instance.machines, pair_strategy)
+        # Per pair (j, k): a = p[:, j], b = p[:, k],
+        # lag = sum of p[:, j+1..k-1]; plus the Mitten/Johnson priority
+        # order of ALL jobs (a subset keeps its induced suborder).
+        cumulative = np.cumsum(p, axis=1)
+        self._pair_data = []
+        for j, k in self.pairs:
+            a = p[:, j]
+            b = p[:, k]
+            if k > j + 1:
+                lag = cumulative[:, k - 1] - cumulative[:, j]
+            else:
+                lag = np.zeros(instance.jobs, dtype=p.dtype)
+            order = np.array(johnson_order(a + lag, lag + b), dtype=np.intp)
+            # position[i] = rank of job i in the Johnson order, so a
+            # subset can be replayed in order with one argsort-free pass
+            position = np.empty(instance.jobs, dtype=np.intp)
+            position[order] = np.arange(instance.jobs)
+            self._pair_data.append((j, k, a, b, lag, position))
+
+    # ------------------------------------------------------------------
+    def one_machine(self, front: np.ndarray, remaining: np.ndarray) -> int:
+        """LB1 over all machines for the unscheduled jobs ``remaining``.
+
+        Machine ``j`` cannot start serving the unscheduled set before
+        ``avail_j = max(front[j], min_i arrival_i(j))`` where
+        ``arrival_i(j)`` is the earliest time job ``i`` could reach
+        machine ``j`` through the current fronts (the Ignall–Schrage
+        head term); then it needs the whole load and the cheapest tail.
+        """
+        if remaining.size == 0:
+            return int(front[-1])
+        p_rem = self.p[remaining]
+        loads = p_rem.sum(axis=0)
+        min_tails = self.tails[remaining].min(axis=0)
+        # earliest completion of each remaining job on each machine if
+        # it were scheduled next: E[:, 0] = front[0] + p, then
+        # E[:, j] = max(front[j], E[:, j-1]) + p.
+        m = front.shape[0]
+        avail = np.empty(m, dtype=np.int64)
+        avail[0] = front[0]
+        if m > 1:
+            completion = front[0] + p_rem[:, 0]
+            for j in range(1, m):
+                avail[j] = max(int(front[j]), int(completion.min()))
+                if j < m - 1:
+                    completion = np.maximum(completion, front[j]) + p_rem[:, j]
+        return int(np.max(avail + loads + min_tails))
+
+    def two_machine(self, front: np.ndarray, remaining: np.ndarray) -> int:
+        """LB2: best pair-wise Johnson-with-lags relaxation."""
+        if remaining.size == 0:
+            return int(front[-1])
+        best = 0
+        tails = self.tails
+        for j, k, a, b, lag, position in self._pair_data:
+            # Replay the induced Johnson suborder of the remaining jobs.
+            order = remaining[np.argsort(position[remaining], kind="stable")]
+            c1 = int(front[j])
+            c2 = int(front[k])
+            for i in order:
+                c1 += int(a[i])
+                earliest = c1 + int(lag[i])
+                if earliest > c2:
+                    c2 = earliest
+                c2 += int(b[i])
+            value = c2 + int(tails[remaining, k].min())
+            if value > best:
+                best = value
+        return best
+
+    def combined(self, front: np.ndarray, remaining: np.ndarray) -> int:
+        """max(LB1, LB2) — the default B&B bound."""
+        lb1 = self.one_machine(front, remaining)
+        if remaining.size <= 1 or not self._pair_data:
+            return lb1
+        return max(lb1, self.two_machine(front, remaining))
+
+
+def one_machine_bound(
+    instance: FlowShopInstance,
+    front: Sequence[int],
+    remaining: Iterable[int],
+) -> int:
+    """Standalone LB1 (convenience wrapper around :class:`BoundData`)."""
+    data = BoundData(instance, pair_strategy="adjacent")
+    return data.one_machine(
+        np.asarray(front, dtype=np.int64), np.asarray(list(remaining), dtype=np.intp)
+    )
+
+
+def two_machine_bound(
+    instance: FlowShopInstance,
+    front: Sequence[int],
+    remaining: Iterable[int],
+    pair_strategy: str = "all",
+) -> int:
+    """Standalone LB2 (convenience wrapper around :class:`BoundData`)."""
+    data = BoundData(instance, pair_strategy=pair_strategy)
+    return data.two_machine(
+        np.asarray(front, dtype=np.int64), np.asarray(list(remaining), dtype=np.intp)
+    )

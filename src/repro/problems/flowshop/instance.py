@@ -1,0 +1,113 @@
+"""Permutation flow-shop instances (paper §5.1).
+
+An instance is ``N`` jobs to be processed on ``M`` machines in machine
+order ``m1 .. mM``; job ``i`` needs ``p[i, j]`` time units on machine
+``j``; jobs pass the machines in the same order and each machine serves
+one job at a time.  The objective is the makespan ``Cmax`` (eq. 15).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ProblemError
+
+__all__ = ["FlowShopInstance", "random_instance"]
+
+
+class FlowShopInstance:
+    """Immutable processing-time matrix plus identity metadata.
+
+    Parameters
+    ----------
+    processing_times:
+        Array-like of shape ``(jobs, machines)`` with positive times.
+    name:
+        Optional label ("Ta056", "random-7x4-s1", ...).
+    """
+
+    __slots__ = ("processing_times", "name")
+
+    def __init__(
+        self,
+        processing_times: Sequence[Sequence[int]],
+        name: Optional[str] = None,
+    ):
+        p = np.asarray(processing_times, dtype=np.int64)
+        if p.ndim != 2:
+            raise ProblemError(
+                f"processing times must be a 2-D (jobs x machines) array, "
+                f"got shape {p.shape}"
+            )
+        if p.shape[0] < 1 or p.shape[1] < 1:
+            raise ProblemError(f"instance needs >=1 job and machine, got {p.shape}")
+        if (p < 0).any():
+            raise ProblemError("processing times must be non-negative")
+        p.setflags(write=False)
+        self.processing_times = p
+        self.name = name or f"flowshop-{p.shape[0]}x{p.shape[1]}"
+
+    @property
+    def jobs(self) -> int:
+        return int(self.processing_times.shape[0])
+
+    @property
+    def machines(self) -> int:
+        return int(self.processing_times.shape[1])
+
+    def job_totals(self) -> np.ndarray:
+        """Total processing time per job (NEH's sorting key)."""
+        return self.processing_times.sum(axis=1)
+
+    def machine_totals(self) -> np.ndarray:
+        """Total load per machine (used by trivial lower bounds)."""
+        return self.processing_times.sum(axis=0)
+
+    def trivial_lower_bound(self) -> int:
+        """max over machines of (min head + load + min tail).
+
+        A valid makespan lower bound needing no search at all; used to
+        sanity-check the real bounds and to seed progress reports.
+        """
+        p = self.processing_times
+        heads = np.concatenate(
+            [np.zeros((self.jobs, 1), dtype=np.int64), np.cumsum(p, axis=1)[:, :-1]],
+            axis=1,
+        )
+        tails = np.concatenate(
+            [
+                np.cumsum(p[:, ::-1], axis=1)[:, -2::-1],
+                np.zeros((self.jobs, 1), dtype=np.int64),
+            ],
+            axis=1,
+        )
+        per_machine = heads.min(axis=0) + p.sum(axis=0) + tails.min(axis=0)
+        lb_machines = int(per_machine.max())
+        lb_jobs = int(p.sum(axis=1).max())
+        return max(lb_machines, lb_jobs)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FlowShopInstance):
+            return NotImplemented
+        return np.array_equal(self.processing_times, other.processing_times)
+
+    def __hash__(self) -> int:
+        return hash((self.jobs, self.machines, self.processing_times.tobytes()))
+
+    def __repr__(self) -> str:
+        return f"FlowShopInstance({self.name!r}, {self.jobs}x{self.machines})"
+
+
+def random_instance(
+    jobs: int, machines: int, seed: int, low: int = 1, high: int = 99
+) -> FlowShopInstance:
+    """Uniform random instance in Taillard's distribution ``U[1, 99]``.
+
+    Deterministic in ``seed`` (NumPy PCG64); useful for tests and for
+    scaled-down benchmark instances that keep the paper's statistics.
+    """
+    rng = np.random.default_rng(seed)
+    p = rng.integers(low, high + 1, size=(jobs, machines), dtype=np.int64)
+    return FlowShopInstance(p, name=f"random-{jobs}x{machines}-s{seed}")

@@ -1,0 +1,114 @@
+"""Reading and writing flow-shop instances in Taillard's file format.
+
+The format used by the benchmark community since Taillard (1993)::
+
+    number of jobs, number of machines, initial seed, upper bound and lower bound :
+              20           5   873654221        1278        1232
+    processing times :
+     54 83 15 71 77 36 53 38 27 87 76 91 14 29 12 77 32 87 68 94
+     79  3 11 99 56 70 99 60  5 56  3 61 73 75 47 14 21 86  5 77
+     ...
+
+Processing times are written **machine-major** (one row per machine,
+one column per job), matching the generator's output order.  Metadata
+(seed, bounds) is optional on read and preserved on round trips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, TextIO, Union
+
+import numpy as np
+
+from repro.exceptions import ProblemError
+from repro.problems.flowshop.instance import FlowShopInstance
+
+__all__ = ["InstanceMetadata", "read_instance", "write_instance"]
+
+
+@dataclass
+class InstanceMetadata:
+    """The optional header quantities of a Taillard-format file."""
+
+    seed: Optional[int] = None
+    upper_bound: Optional[int] = None
+    lower_bound: Optional[int] = None
+
+
+def write_instance(
+    instance: FlowShopInstance,
+    target: Union[str, Path, TextIO],
+    metadata: Optional[InstanceMetadata] = None,
+) -> None:
+    """Write ``instance`` in Taillard's format."""
+    metadata = metadata or InstanceMetadata()
+    lines: List[str] = []
+    lines.append(
+        "number of jobs, number of machines, initial seed, "
+        "upper bound and lower bound :"
+    )
+    lines.append(
+        f"{instance.jobs:>12} {instance.machines:>11} "
+        f"{metadata.seed if metadata.seed is not None else 0:>11} "
+        f"{metadata.upper_bound if metadata.upper_bound is not None else 0:>11} "
+        f"{metadata.lower_bound if metadata.lower_bound is not None else 0:>11}"
+    )
+    lines.append("processing times :")
+    p = instance.processing_times
+    for machine in range(instance.machines):
+        lines.append(
+            " ".join(f"{int(p[job, machine]):>3}" for job in range(instance.jobs))
+        )
+    text = "\n".join(lines) + "\n"
+    if hasattr(target, "write"):
+        target.write(text)
+    else:
+        Path(target).write_text(text)
+
+
+def read_instance(
+    source: Union[str, Path, TextIO],
+    name: Optional[str] = None,
+) -> tuple:
+    """Read a Taillard-format file; returns ``(instance, metadata)``.
+
+    Tolerant of header wording variations: any line containing digits
+    after the first non-numeric header is parsed positionally.
+    """
+    if hasattr(source, "read"):
+        text = source.read()
+        label = name or "from-stream"
+    else:
+        path = Path(source)
+        text = path.read_text()
+        label = name or path.stem
+
+    tokens: List[int] = []
+    for line in text.splitlines():
+        for piece in line.replace(",", " ").split():
+            try:
+                tokens.append(int(piece))
+            except ValueError:
+                continue
+    if len(tokens) < 2:
+        raise ProblemError("file contains no instance dimensions")
+    jobs, machines = tokens[0], tokens[1]
+    if jobs < 1 or machines < 1:
+        raise ProblemError(f"invalid dimensions {jobs}x{machines}")
+    header_extra = tokens[2:5]
+    matrix_tokens = tokens[2 + len(header_extra):]
+    if len(matrix_tokens) != jobs * machines:
+        raise ProblemError(
+            f"expected {jobs * machines} processing times, "
+            f"found {len(matrix_tokens)}"
+        )
+    # machine-major rows -> (jobs, machines)
+    p = np.array(matrix_tokens, dtype=np.int64).reshape(machines, jobs).T
+    metadata = InstanceMetadata(
+        seed=header_extra[0] if len(header_extra) > 0 and header_extra[0] else None,
+        upper_bound=header_extra[1] if len(header_extra) > 1 and header_extra[1] else None,
+        lower_bound=header_extra[2] if len(header_extra) > 2 and header_extra[2] else None,
+    )
+    return FlowShopInstance(p, name=label), metadata

@@ -1,0 +1,132 @@
+"""Iterated Greedy for the permutation flow shop (Ruiz & Stützle).
+
+The paper's reference [9]: the best-known Ta056 cost (3681) that seeded
+the first grid run came from this metaheuristic.  The algorithm is
+deliberately simple:
+
+1. start from NEH;
+2. *destruct*: remove ``d`` random jobs;
+3. *construct*: reinsert each at its best position (NEH insertion);
+4. accept the result if better, or with a simulated-annealing-style
+   probability at constant temperature
+   ``T = t * sum(p) / (10 * n * m)`` (the paper's recommended form);
+5. repeat for a budget of iterations.
+
+This gives the library the full pipeline the authors ran: metaheuristic
+upper bound -> grid B&B proof.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ProblemError
+from repro.problems.flowshop.instance import FlowShopInstance
+from repro.problems.flowshop.makespan import makespan
+from repro.problems.flowshop.neh import insertion_best_position, neh
+
+__all__ = ["IGResult", "iterated_greedy"]
+
+
+@dataclass
+class IGResult:
+    """Outcome of an Iterated Greedy run."""
+
+    sequence: List[int]
+    cost: int
+    iterations: int
+    improvements: int
+    accepted_worse: int
+    initial_cost: int
+
+
+def _construct(instance: FlowShopInstance, partial: List[int], removed: List[int]) -> Tuple[List[int], int]:
+    sequence = list(partial)
+    value = -1
+    for job in removed:
+        pos, value = insertion_best_position(instance, sequence, job)
+        sequence.insert(pos, job)
+    if value < 0:  # nothing was removed
+        value = makespan(instance, sequence)
+    return sequence, value
+
+
+def iterated_greedy(
+    instance: FlowShopInstance,
+    iterations: int = 200,
+    destruction: int = 4,
+    temperature_factor: float = 0.4,
+    seed: int = 0,
+    initial: Optional[List[int]] = None,
+) -> IGResult:
+    """Run Iterated Greedy; returns the best schedule found.
+
+    Parameters
+    ----------
+    iterations:
+        Destruction/construction cycles (the real runs in [9] use time
+        budgets; a count keeps tests deterministic).
+    destruction:
+        ``d``, the number of jobs removed per cycle (classically 4).
+    temperature_factor:
+        ``t`` in the constant-temperature acceptance criterion.
+    initial:
+        Starting sequence; defaults to NEH.
+    """
+    if iterations < 0:
+        raise ProblemError("iterations must be >= 0")
+    if not 0 < destruction <= instance.jobs:
+        raise ProblemError(
+            f"destruction size must be in 1..{instance.jobs}, got {destruction}"
+        )
+    rng = np.random.default_rng(seed)
+
+    if initial is None:
+        current, current_cost = neh(instance)
+    else:
+        current = list(initial)
+        current_cost = makespan(instance, current)
+    initial_cost = current_cost
+    best, best_cost = list(current), current_cost
+
+    temperature = (
+        temperature_factor
+        * float(instance.processing_times.sum())
+        / (10.0 * instance.jobs * instance.machines)
+    )
+
+    improvements = 0
+    accepted_worse = 0
+    for _ in range(iterations):
+        # destruction: remove d distinct random jobs, preserving order
+        removed_idx = rng.choice(instance.jobs, size=destruction, replace=False)
+        removed_set = set(int(i) for i in removed_idx)
+        partial = [j for j in current if j not in removed_set]
+        removed = [j for j in current if j in removed_set]
+        rng.shuffle(removed)
+
+        candidate, candidate_cost = _construct(instance, partial, removed)
+
+        if candidate_cost < current_cost:
+            current, current_cost = candidate, candidate_cost
+            if candidate_cost < best_cost:
+                best, best_cost = list(candidate), candidate_cost
+                improvements += 1
+        elif temperature > 0 and rng.random() < math.exp(
+            (current_cost - candidate_cost) / temperature
+        ):
+            current, current_cost = candidate, candidate_cost
+            accepted_worse += 1
+
+    return IGResult(
+        sequence=best,
+        cost=int(best_cost),
+        iterations=iterations,
+        improvements=improvements,
+        accepted_worse=accepted_worse,
+        initial_cost=int(initial_cost),
+    )

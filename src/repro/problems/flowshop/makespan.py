@@ -1,0 +1,104 @@
+"""Makespan evaluation for (partial) permutation schedules.
+
+The makespan recurrence is the classic completion-time sweep: with
+``C[i, j]`` the completion of the ``i``-th scheduled job on machine
+``j``::
+
+    C[i, j] = max(C[i, j-1], C[i-1, j]) + p[job_i, j]
+
+The per-job update is a length-``M`` scan (inherently sequential in
+``j``); the hot paths below keep the data in NumPy arrays and push the
+prefix-maximum into C where possible.  Profiling on Taillard-sized
+instances shows the bound evaluation — not this sweep — dominates B&B
+time, per the optimisation guidance of working on measured bottlenecks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ProblemError
+from repro.problems.flowshop.instance import FlowShopInstance
+
+__all__ = [
+    "completion_front",
+    "advance_front",
+    "makespan",
+    "partial_makespan",
+    "tails_matrix",
+]
+
+
+def advance_front(
+    front: np.ndarray, job_times: np.ndarray, out: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Completion front after appending one job.
+
+    ``front[j]`` is the completion time of the current partial schedule
+    on machine ``j``; ``job_times`` is the appended job's row of the
+    processing-time matrix.  Returns the new front (a fresh array
+    unless ``out`` is given).
+    """
+    m = front.shape[0]
+    if out is None:
+        out = np.empty_like(front)
+    prev = 0
+    for j in range(m):
+        f = front[j]
+        if prev > f:
+            f = prev
+        prev = f + job_times[j]
+        out[j] = prev
+    return out
+
+
+def completion_front(
+    instance: FlowShopInstance, sequence: Sequence[int]
+) -> np.ndarray:
+    """Completion front of a (possibly partial) job sequence."""
+    p = instance.processing_times
+    front = np.zeros(instance.machines, dtype=np.int64)
+    for job in sequence:
+        advance_front(front, p[job], out=front)
+    return front
+
+
+def makespan(instance: FlowShopInstance, permutation: Sequence[int]) -> int:
+    """Cmax of a complete permutation (eq. 15).
+
+    Raises when ``permutation`` is not a permutation of all jobs —
+    silent acceptance of partial schedules here has historically hidden
+    bugs, so completeness is enforced; use :func:`partial_makespan` for
+    prefixes.
+    """
+    if sorted(permutation) != list(range(instance.jobs)):
+        raise ProblemError(
+            f"not a permutation of 0..{instance.jobs - 1}: {list(permutation)!r}"
+        )
+    return int(completion_front(instance, permutation)[-1])
+
+
+def partial_makespan(instance: FlowShopInstance, sequence: Sequence[int]) -> int:
+    """Completion time on the last machine of a partial sequence."""
+    if len(set(sequence)) != len(sequence):
+        raise ProblemError(f"sequence repeats a job: {list(sequence)!r}")
+    if not sequence:
+        return 0
+    return int(completion_front(instance, sequence)[-1])
+
+
+def tails_matrix(instance: FlowShopInstance) -> np.ndarray:
+    """``tail[i, j]`` = minimum time job ``i`` needs after finishing
+    machine ``j`` (sum of its times on machines ``j+1 .. M-1``).
+
+    A classic ingredient of the one-machine lower bound: after the
+    bottleneck machine ``j`` completes, at least ``min_i tail[i, j]``
+    time remains before the last machine can finish.
+    """
+    p = instance.processing_times
+    tails = np.zeros_like(p)
+    if instance.machines > 1:
+        tails[:, :-1] = np.cumsum(p[:, :0:-1], axis=1)[:, ::-1]
+    return tails

@@ -1,0 +1,114 @@
+"""The NEH constructive heuristic (Nawaz, Enscore & Ham, 1983).
+
+NEH is the standard high-quality initial upper bound for flow-shop
+B&B: sort the jobs by decreasing total processing time, then insert
+each job at the position of the partial sequence that minimises the
+partial makespan.  On Ta001 it yields 1286 against the optimum 1278 —
+a value the test suite pins to validate both the heuristic and the
+reimplemented Taillard generator.
+
+The paper initialised its Ta056 runs from the best-known metaheuristic
+solution (3681); :func:`neh` plays the same role when no external
+incumbent is available.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.problems.flowshop.instance import FlowShopInstance
+
+__all__ = ["neh", "insertion_best_position"]
+
+
+def _sequence_makespan(p: np.ndarray, machines: int, sequence: Sequence[int]) -> int:
+    front = np.zeros(machines, dtype=np.int64)
+    for job in sequence:
+        row = p[job]
+        prev = 0
+        for j in range(machines):
+            f = front[j]
+            if prev > f:
+                f = prev
+            prev = f + row[j]
+            front[j] = prev
+    return int(front[-1])
+
+
+def insertion_best_position(
+    instance: FlowShopInstance, sequence: List[int], job: int
+) -> Tuple[int, int]:
+    """Best position to insert ``job`` into ``sequence``.
+
+    Returns ``(position, makespan)``; ties break on the earliest
+    position (NEH's convention).  Uses Taillard's acceleration: heads
+    of all prefixes and tails of all suffixes are computed once, so the
+    whole scan costs ``O(len(sequence) * machines)`` instead of
+    ``O(len(sequence)^2 * machines)``.
+    """
+    p = instance.processing_times
+    m = instance.machines
+    k = len(sequence)
+
+    # heads[q] = completion front after the first q jobs of `sequence`.
+    heads = np.zeros((k + 1, m), dtype=np.int64)
+    for q, existing in enumerate(sequence):
+        row = p[existing]
+        prev = 0
+        for j in range(m):
+            f = heads[q, j]
+            if prev > f:
+                f = prev
+            prev = f + row[j]
+            heads[q + 1, j] = prev
+
+    # tails[q] = backward front of jobs q.. (time from their start on
+    # each machine to the end of the schedule).
+    tails = np.zeros((k + 1, m), dtype=np.int64)
+    for q in range(k - 1, -1, -1):
+        row = p[sequence[q]]
+        nxt = 0
+        for j in range(m - 1, -1, -1):
+            t = tails[q + 1, j]
+            if nxt > t:
+                t = nxt
+            nxt = t + row[j]
+            tails[q, j] = nxt
+
+    job_row = p[job]
+    best_pos = 0
+    best_value = None
+    for q in range(k + 1):
+        # front after inserting `job` at position q
+        prev = 0
+        value = 0
+        for j in range(m):
+            f = heads[q, j]
+            if prev > f:
+                f = prev
+            prev = f + job_row[j]
+            total = prev + tails[q, j]
+            if total > value:
+                value = total
+        if best_value is None or value < best_value:
+            best_value = value
+            best_pos = q
+    return best_pos, int(best_value)
+
+
+def neh(instance: FlowShopInstance) -> Tuple[List[int], int]:
+    """Run NEH; return ``(permutation, makespan)``.
+
+    Deterministic: the initial order sorts by decreasing job total with
+    job index as tie-break.
+    """
+    totals = instance.job_totals()
+    order = sorted(range(instance.jobs), key=lambda i: (-int(totals[i]), i))
+    sequence: List[int] = [order[0]]
+    value = int(instance.processing_times[order[0]].sum())
+    for job in order[1:]:
+        pos, value = insertion_best_position(instance, sequence, job)
+        sequence.insert(pos, job)
+    return sequence, value

@@ -1,0 +1,53 @@
+"""Literature reference values for Taillard flow-shop instances.
+
+Only values with offline-verifiable anchors or long-settled literature
+status are recorded:
+
+* the 20×5 class (Ta001–Ta010) was solved exactly decades ago — the
+  optima below are the established values (Taillard's tables);
+* Ta056's optimum 3679 is the paper's own headline result.
+
+These are *reference* data for gap reporting; the library never
+assumes them when proving optimality.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+__all__ = ["KNOWN_OPTIMA", "known_optimum", "optimality_gap"]
+
+# (jobs, machines, index 1..10) -> optimal makespan
+KNOWN_OPTIMA: Dict[Tuple[int, int, int], int] = {
+    # Ta001..Ta010 — 20 jobs x 5 machines, all solved exactly
+    (20, 5, 1): 1278,
+    (20, 5, 2): 1359,
+    (20, 5, 3): 1081,
+    (20, 5, 4): 1293,
+    (20, 5, 5): 1235,
+    (20, 5, 6): 1195,
+    (20, 5, 7): 1234,
+    (20, 5, 8): 1206,
+    (20, 5, 9): 1230,
+    (20, 5, 10): 1108,
+    # Ta056 — the paper's result (50 jobs x 20 machines, #6)
+    (50, 20, 6): 3679,
+}
+
+
+def known_optimum(jobs: int, machines: int, index: int) -> Optional[int]:
+    """The literature optimum for a Taillard instance, if recorded."""
+    return KNOWN_OPTIMA.get((jobs, machines, index))
+
+
+def optimality_gap(value: float, jobs: int, machines: int, index: int) -> Optional[float]:
+    """Relative gap of ``value`` to the known optimum (None if unknown).
+
+    Negative gaps mean ``value`` beats the recorded optimum — either a
+    new record or (far more likely) a wrong instance; callers should
+    treat that as a red flag.
+    """
+    optimum = known_optimum(jobs, machines, index)
+    if optimum is None:
+        return None
+    return (value - optimum) / optimum

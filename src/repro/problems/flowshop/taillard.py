@@ -1,0 +1,176 @@
+"""Taillard's 1993 benchmark instance generator, reimplemented.
+
+E. Taillard, "Benchmarks for basic scheduling problems", EJOR 64
+(1993) 278–285, defines the flow-shop benchmark suite the paper solves
+(Ta056 = the 6th 50-job/20-machine instance).  The instances are not
+data files but *seeds*: a portable linear congruential generator
+(a = 16807, m = 2**31 - 1, Bratley–Fox–Schrage implementation) expands
+one published "time seed" per instance into the processing-time matrix,
+machine by machine, uniformly on [1, 99].
+
+This module reproduces that generator bit-for-bit, so
+``taillard_instance(50, 20, 6)`` *is* Ta056 — validated in the test
+suite by evaluating the optimal schedule printed in the paper (§5.3),
+which must have makespan exactly 3679.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.exceptions import ProblemError
+from repro.problems.flowshop.instance import FlowShopInstance
+
+__all__ = [
+    "TaillardRNG",
+    "taillard_instance",
+    "taillard_matrix",
+    "TIME_SEEDS",
+    "instance_classes",
+]
+
+
+class TaillardRNG:
+    """Taillard's portable uniform generator (Bratley, Fox & Schrage).
+
+    ``next_int(low, high)`` returns integers uniform on
+    ``[low, high]``; the internal state follows
+    ``seed = 16807 * seed mod (2**31 - 1)`` computed without overflow
+    via Schrage's decomposition (m = a*b + c with b = 127773, c = 2836).
+    """
+
+    M = 2147483647
+    A = 16807
+    B = 127773
+    C = 2836
+
+    def __init__(self, seed: int):
+        if not 0 < seed < self.M:
+            raise ProblemError(f"Taillard seed must be in (0, 2**31-1), got {seed}")
+        self.seed = seed
+
+    def next_float(self) -> float:
+        """Next uniform value in (0, 1)."""
+        k = self.seed // self.B
+        self.seed = self.A * (self.seed % self.B) - k * self.C
+        if self.seed < 0:
+            self.seed += self.M
+        return self.seed / self.M
+
+    def next_int(self, low: int, high: int) -> int:
+        """Next uniform integer in ``[low, high]`` (Taillard's unif)."""
+        return low + int(self.next_float() * (high - low + 1))
+
+
+# Published time seeds (Taillard 1993, table of flow-shop instances).
+# Key: (jobs, machines) -> the ten seeds of Ta<k>..Ta<k+9>.
+TIME_SEEDS: Dict[Tuple[int, int], List[int]] = {
+    (20, 5): [
+        873654221, 379008056, 1866992158, 216771124, 495070989,
+        402959317, 1369363414, 2021925980, 573109518, 88325120,
+    ],
+    (20, 10): [
+        587595453, 1401007982, 873136276, 268827376, 1634173168,
+        691823909, 73807235, 1273398721, 2065119309, 1672900551,
+    ],
+    (20, 20): [
+        479340445, 268827376, 1958948863, 918272953, 555010963,
+        2010851491, 1519833303, 1748670931, 1923497586, 1829909967,
+    ],
+    (50, 5): [
+        1328042058, 200382020, 496319842, 1203030903, 1730708564,
+        450926852, 1303135678, 1273398721, 587288402, 248421594,
+    ],
+    (50, 10): [
+        1958948863, 575633267, 655816003, 1977864101, 93805469,
+        1803345551, 49612559, 1899802599, 2013025619, 578962478,
+    ],
+    (50, 20): [
+        1539989115, 691823909, 655816003, 1315102446, 1949668355,
+        1923497586, 1805594913, 1861070898, 715643788, 464843328,
+    ],
+    (100, 5): [
+        896678084, 1179439976, 1122278347, 416756875, 267829958,
+        1835213917, 1328833962, 1418570761, 161033112, 304212574,
+    ],
+    (100, 10): [
+        1539989115, 655816003, 960914243, 1915696806, 2013025619,
+        1168140026, 1923497586, 167698528, 1528387973, 993794175,
+    ],
+    (100, 20): [
+        450926852, 1462772409, 1021685265, 83696007, 508154254,
+        1861070898, 26482542, 444956424, 2115448041, 118254244,
+    ],
+    (200, 10): [
+        471503978, 1215892992, 135346136, 1602504050, 160037322,
+        551454346, 519485142, 383947510, 1968171878, 540872513,
+    ],
+    (200, 20): [
+        2013025619, 475051709, 914834335, 810642687, 1019331795,
+        2056065863, 1342855162, 1325809384, 1988803007, 765656702,
+    ],
+    (500, 20): [
+        1368624604, 450181436, 1927888393, 1759567256, 606425239,
+        19268348, 1298201670, 2041736264, 379756761, 28837162,
+    ],
+}
+
+# First Taillard index of each (jobs, machines) class: Ta001 is 20x5 #1.
+_CLASS_ORDER: List[Tuple[int, int]] = [
+    (20, 5), (20, 10), (20, 20),
+    (50, 5), (50, 10), (50, 20),
+    (100, 5), (100, 10), (100, 20),
+    (200, 10), (200, 20),
+    (500, 20),
+]
+
+
+def instance_classes() -> List[Tuple[int, int]]:
+    """The twelve (jobs, machines) classes of the Taillard suite."""
+    return list(_CLASS_ORDER)
+
+
+def _ta_number(jobs: int, machines: int, index: int) -> int:
+    base = _CLASS_ORDER.index((jobs, machines)) * 10
+    return base + index
+
+
+def taillard_matrix(jobs: int, machines: int, time_seed: int) -> np.ndarray:
+    """Expand a time seed into the processing-time matrix.
+
+    Taillard's generator fills the matrix *machine-major*: for each
+    machine, the times of all jobs are drawn in job order, uniform on
+    [1, 99].  Returned shape is ``(jobs, machines)`` to match
+    :class:`FlowShopInstance`.
+    """
+    rng = TaillardRNG(time_seed)
+    p = np.empty((jobs, machines), dtype=np.int64)
+    for j in range(machines):
+        for i in range(jobs):
+            p[i, j] = rng.next_int(1, 99)
+    return p
+
+
+def taillard_instance(
+    jobs: int, machines: int, index: int
+) -> FlowShopInstance:
+    """The Taillard benchmark instance ``index`` (1-based) of a class.
+
+    ``taillard_instance(50, 20, 6)`` is the paper's Ta056.  Raises for
+    unknown classes or indices outside 1..10.
+    """
+    key = (jobs, machines)
+    if key not in TIME_SEEDS:
+        raise ProblemError(
+            f"no Taillard class {jobs}x{machines}; known: {sorted(TIME_SEEDS)}"
+        )
+    if not 1 <= index <= 10:
+        raise ProblemError(f"Taillard instance index must be 1..10, got {index}")
+    seed = TIME_SEEDS[key][index - 1]
+    number = _ta_number(jobs, machines, index)
+    return FlowShopInstance(
+        taillard_matrix(jobs, machines, seed),
+        name=f"Ta{number:03d}",
+    )

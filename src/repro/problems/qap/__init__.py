@@ -1,0 +1,11 @@
+"""Quadratic assignment substrate (Table 3's Nug30 problem class).
+
+Public surface::
+
+    from repro.problems.qap import QAPInstance, QAPProblem, random_qap, nugent_like
+"""
+
+from repro.problems.qap.instance import QAPInstance, nugent_like, random_qap
+from repro.problems.qap.problem import QAPProblem
+
+__all__ = ["QAPInstance", "QAPProblem", "nugent_like", "random_qap"]

@@ -1,0 +1,102 @@
+"""Quadratic assignment problem instances.
+
+Table 3 cites Nug30 — the QAP record run of Anstreicher et al. (7
+CPU-years on a grid).  The Nugent instances themselves are grid
+layouts with integer flows; :func:`nugent_like` builds the same
+structure synthetically (rectangular-grid Manhattan distances, random
+symmetric flows) so the code path matches without the proprietary-free
+but unavailable-offline QAPLIB files (DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ProblemError
+
+__all__ = ["QAPInstance", "random_qap", "nugent_like"]
+
+
+class QAPInstance:
+    """Flows between facilities and distances between locations.
+
+    Cost of an assignment ``perm`` (facility ``i`` at location
+    ``perm[i]``) is ``sum_{i,j} flow[i,j] * dist[perm[i], perm[j]]``.
+    """
+
+    __slots__ = ("flows", "distances", "name")
+
+    def __init__(
+        self,
+        flows: Sequence[Sequence[int]],
+        distances: Sequence[Sequence[int]],
+        name: Optional[str] = None,
+    ):
+        f = np.asarray(flows, dtype=np.int64)
+        d = np.asarray(distances, dtype=np.int64)
+        for label, m in (("flows", f), ("distances", d)):
+            if m.ndim != 2 or m.shape[0] != m.shape[1]:
+                raise ProblemError(f"{label} matrix must be square, got {m.shape}")
+            if (m < 0).any():
+                raise ProblemError(f"{label} must be non-negative")
+        if f.shape != d.shape:
+            raise ProblemError(
+                f"flows {f.shape} and distances {d.shape} must match"
+            )
+        f.setflags(write=False)
+        d.setflags(write=False)
+        self.flows = f
+        self.distances = d
+        self.name = name or f"qap-{f.shape[0]}"
+
+    @property
+    def size(self) -> int:
+        return int(self.flows.shape[0])
+
+    def assignment_cost(self, perm: Sequence[int]) -> int:
+        if sorted(perm) != list(range(self.size)):
+            raise ProblemError(
+                f"not a permutation of 0..{self.size - 1}: {list(perm)!r}"
+            )
+        loc = np.asarray(perm, dtype=np.intp)
+        return int((self.flows * self.distances[np.ix_(loc, loc)]).sum())
+
+    def __repr__(self) -> str:
+        return f"QAPInstance({self.name!r}, n={self.size})"
+
+
+def random_qap(size: int, seed: int, high: int = 20) -> QAPInstance:
+    """Symmetric random instance (flows and distances U[0, high])."""
+    rng = np.random.default_rng(seed)
+
+    def symmetric(hollow: bool) -> np.ndarray:
+        m = rng.integers(0, high + 1, size=(size, size), dtype=np.int64)
+        m = (m + m.T) // 2
+        if hollow:
+            np.fill_diagonal(m, 0)
+        return m
+
+    return QAPInstance(
+        symmetric(hollow=True),
+        symmetric(hollow=True),
+        name=f"random-qap-{size}-s{seed}",
+    )
+
+
+def nugent_like(rows: int, cols: int, seed: int, max_flow: int = 10) -> QAPInstance:
+    """Nugent-style instance: grid locations, Manhattan distances,
+    random symmetric integer flows — the Nug30 structure at any size.
+    """
+    size = rows * cols
+    coords = [(r, c) for r in range(rows) for c in range(cols)]
+    d = np.empty((size, size), dtype=np.int64)
+    for i, (r1, c1) in enumerate(coords):
+        for j, (r2, c2) in enumerate(coords):
+            d[i, j] = abs(r1 - r2) + abs(c1 - c2)
+    rng = np.random.default_rng(seed)
+    f = rng.integers(0, max_flow + 1, size=(size, size), dtype=np.int64)
+    f = (f + f.T) // 2
+    np.fill_diagonal(f, 0)
+    return QAPInstance(f, d, name=f"nugent-like-{rows}x{cols}-s{seed}")

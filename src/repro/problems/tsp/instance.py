@@ -1,0 +1,77 @@
+"""Symmetric TSP instances.
+
+Table 3 of the paper compares the Ta056 resolution against the great
+TSP record runs (Sw24978, D15112, Usa13509).  Those national road
+instances are not reproducible offline, so this module generates the
+synthetic equivalent: random Euclidean point sets whose rounded
+distance matrices exercise the same permutation-tree B&B code path
+(see DESIGN.md §2 for the substitution rationale).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ProblemError
+
+__all__ = ["TSPInstance", "random_tsp"]
+
+
+class TSPInstance:
+    """A symmetric distance matrix with zero diagonal."""
+
+    __slots__ = ("distances", "name")
+
+    def __init__(
+        self, distances: Sequence[Sequence[int]], name: Optional[str] = None
+    ):
+        d = np.asarray(distances, dtype=np.int64)
+        if d.ndim != 2 or d.shape[0] != d.shape[1]:
+            raise ProblemError(f"distance matrix must be square, got {d.shape}")
+        if d.shape[0] < 3:
+            raise ProblemError("a tour needs at least 3 cities")
+        if not np.array_equal(d, d.T):
+            raise ProblemError("distance matrix must be symmetric")
+        if np.diagonal(d).any():
+            raise ProblemError("distance matrix diagonal must be zero")
+        if (d < 0).any():
+            raise ProblemError("distances must be non-negative")
+        d.setflags(write=False)
+        self.distances = d
+        self.name = name or f"tsp-{d.shape[0]}"
+
+    @property
+    def cities(self) -> int:
+        return int(self.distances.shape[0])
+
+    def tour_length(self, tour: Sequence[int]) -> int:
+        """Length of a closed tour visiting every city once."""
+        if sorted(tour) != list(range(self.cities)):
+            raise ProblemError(
+                f"not a permutation of 0..{self.cities - 1}: {list(tour)!r}"
+            )
+        d = self.distances
+        total = 0
+        for a, b in zip(tour, tour[1:]):
+            total += int(d[a, b])
+        total += int(d[tour[-1], tour[0]])
+        return total
+
+    def __repr__(self) -> str:
+        return f"TSPInstance({self.name!r}, {self.cities} cities)"
+
+
+def random_tsp(cities: int, seed: int, scale: int = 1000) -> TSPInstance:
+    """Random Euclidean instance: points uniform in a square, rounded
+    integer distances (the TSPLIB EUC_2D convention of the record runs).
+    """
+    rng = np.random.default_rng(seed)
+    points = rng.uniform(0, scale, size=(cities, 2))
+    diff = points[:, None, :] - points[None, :, :]
+    d = np.rint(np.sqrt((diff**2).sum(axis=2))).astype(np.int64)
+    np.fill_diagonal(d, 0)
+    # rounding can break symmetry only through fp noise; enforce it.
+    d = np.minimum(d, d.T)
+    return TSPInstance(d, name=f"euc2d-{cities}-s{seed}")

@@ -1,0 +1,103 @@
+"""Symmetric TSP as a permutation-tree :class:`Problem`.
+
+City 0 is the fixed tour start, so a tour is a permutation of the
+remaining ``n - 1`` cities and the search tree is
+``TreeShape.permutation(n - 1)`` — the same regular tree family the
+paper's interval coding targets.
+
+The lower bound is the classic outgoing-edge bound: the remaining part
+of the tour must leave the current city once and leave every unvisited
+city once (ending back at city 0), so summing each node's cheapest
+admissible outgoing edge is admissible.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.problem import Problem
+from repro.core.tree import TreeShape
+from repro.problems.tsp.instance import TSPInstance
+
+__all__ = ["TSPProblem", "nearest_neighbour_tour"]
+
+
+class _TourState:
+    __slots__ = ("path", "cost", "remaining")
+
+    def __init__(self, path: Tuple[int, ...], cost: int, remaining: Tuple[int, ...]):
+        self.path = path  # starts at city 0
+        self.cost = cost  # length of the open path so far
+        self.remaining = remaining  # ascending city ids
+
+
+class TSPProblem(Problem):
+    """Minimise closed-tour length over permutations of cities 1..n-1."""
+
+    def __init__(self, instance: TSPInstance):
+        self.instance = instance
+        self._shape = TreeShape.permutation(instance.cities - 1)
+        d = instance.distances
+        # cheapest incident edge per city, used to close the bound fast
+        masked = d.astype(np.float64)
+        np.fill_diagonal(masked, np.inf)
+        self._min_edge = masked.min(axis=1)
+
+    def tree_shape(self) -> TreeShape:
+        return self._shape
+
+    def root_state(self) -> _TourState:
+        return _TourState(
+            (0,), 0, tuple(range(1, self.instance.cities))
+        )
+
+    def branch(self, state: _TourState, depth: int) -> List[_TourState]:
+        d = self.instance.distances
+        current = state.path[-1]
+        children = []
+        for idx, city in enumerate(state.remaining):
+            children.append(
+                _TourState(
+                    state.path + (city,),
+                    state.cost + int(d[current, city]),
+                    state.remaining[:idx] + state.remaining[idx + 1 :],
+                )
+            )
+        return children
+
+    def lower_bound(self, state: _TourState, depth: int) -> float:
+        d = self.instance.distances
+        remaining = state.remaining
+        if not remaining:
+            return state.cost + int(d[state.path[-1], 0])
+        current = state.path[-1]
+        targets = remaining + (0,)
+        bound = state.cost + min(int(d[current, t]) for t in targets)
+        for u in remaining:
+            others = [t for t in targets if t != u]
+            bound += min(int(d[u, t]) for t in others)
+        return bound
+
+    def leaf_cost(self, state: _TourState) -> float:
+        return state.cost + int(self.instance.distances[state.path[-1], 0])
+
+    def leaf_solution(self, state: _TourState) -> Tuple[int, ...]:
+        return state.path
+
+    def name(self) -> str:
+        return f"TSP({self.instance.name})"
+
+
+def nearest_neighbour_tour(instance: TSPInstance) -> Tuple[List[int], int]:
+    """Greedy warm-start tour from city 0: ``(tour, length)``."""
+    d = instance.distances
+    unvisited = set(range(1, instance.cities))
+    tour = [0]
+    while unvisited:
+        current = tour[-1]
+        nxt = min(unvisited, key=lambda c: (int(d[current, c]), c))
+        tour.append(nxt)
+        unvisited.remove(nxt)
+    return tour, instance.tour_length(tour)

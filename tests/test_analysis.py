@@ -1,0 +1,182 @@
+"""Tests for the analysis helpers (tables, series, records, compare)."""
+
+import pytest
+
+from repro.analysis import (
+    Comparison,
+    ComparisonSet,
+    RECORD_RESOLUTIONS,
+    RecordResolution,
+    render_table,
+    render_table1,
+    render_table2,
+    render_table3,
+    resample,
+    series_summary,
+    sparkline,
+)
+from repro.analysis.records import rank_of
+from repro.grid.simulator import Table2Stats, paper_platform
+
+
+def sample_stats(**overrides):
+    defaults = dict(
+        wall_clock_seconds=25 * 86400.0,
+        total_cpu_seconds=22 * 365.25 * 86400.0,
+        average_workers=328.0,
+        maximum_workers=1195,
+        worker_exploitation=0.97,
+        coordinator_exploitation=0.017,
+        checkpoint_operations=4_094_176,
+        work_allocations=129_958,
+        explored_nodes=6_508_740_000_000,
+        redundant_node_rate=0.0039,
+        best_cost=3679.0,
+        optimum_proved=True,
+    )
+    defaults.update(overrides)
+    return Table2Stats(**defaults)
+
+
+class TestRenderTable:
+    def test_alignment_and_rule(self):
+        out = render_table(["a", "bbb"], [["xx", "y"], ["z", "wwww"]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a ")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_title(self):
+        out = render_table(["h"], [["v"]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_empty_rows(self):
+        out = render_table(["col"], [])
+        assert "col" in out
+
+
+class TestTable1:
+    def test_paper_rows_total_1889(self):
+        out = render_table1()
+        assert "Total: 1889" in out
+        assert "P4 1.70" in out
+        assert "Orsay" in out and "2x216" in out
+
+    def test_platform_spec_variant(self):
+        out = render_table1(paper_platform())
+        assert "Total: 1889" in out
+        assert "Grid5000" in out
+
+
+class TestTable2:
+    def test_paper_values_roundtrip(self):
+        # Feeding the paper's own numbers must print the paper's rows.
+        out = render_table2(sample_stats())
+        assert "25.00 days" in out
+        assert "22.0" in out  # years
+        assert "97%" in out
+        assert "1.7%" in out
+        assert "4,094,176" in out
+        assert "129,958" in out
+        assert "0.39%" in out
+
+    def test_reference_column_present(self):
+        out = render_table2(sample_stats())
+        assert "Paper (Ta056 run 2)" in out
+
+    def test_scale_note(self):
+        out = render_table2(sample_stats(), scale_note="scaled 10x")
+        assert "scaled 10x" in out
+
+    def test_rows_order_matches_paper(self):
+        labels = [label for label, _ in sample_stats().rows()]
+        assert labels == [
+            "Running wall clock time",
+            "Total cpu time",
+            "Average number of workers",
+            "Maximum number of workers",
+            "Worker CPU exploitation",
+            "Coordinator CPU exploitation",
+            "Checkpoint operations",
+            "Work allocations",
+            "Explored nodes",
+            "Redundant nodes",
+        ]
+
+
+class TestTable3:
+    def test_five_records_in_paper_order(self):
+        assert [r.instance for r in RECORD_RESOLUTIONS] == [
+            "Sw24978", "Ta056", "D15112", "Nug30", "Usa13509",
+        ]
+
+    def test_render_contains_all_instances(self):
+        out = render_table3()
+        for r in RECORD_RESOLUTIONS:
+            assert r.instance in out
+
+    def test_ta056_ranks_second(self):
+        # "the second resolution of Ta056 ranks second"
+        assert rank_of(22.0) == 2
+
+    def test_extra_record_reranks(self):
+        mine = RecordResolution(0, "Flow-Shop", "sim", "simulated", 30.0, "")
+        out = render_table3(extra=mine)
+        lines = [l for l in out.splitlines() if "sim" in l]
+        assert lines[0].startswith("2")  # behind Sw24978's 84 years
+
+
+class TestSeries:
+    def test_resample_step_function(self):
+        series = [(0.0, 0), (1.0, 5), (3.0, 2)]
+        out = resample(series, horizon=4.0, samples=5)
+        assert out == [(0.0, 0), (1.0, 5), (2.0, 5), (3.0, 2), (4.0, 2)]
+
+    def test_resample_single_sample(self):
+        assert resample([(0.0, 3)], 10.0, 1) == [(0.0, 3)]
+
+    def test_resample_invalid(self):
+        with pytest.raises(ValueError):
+            resample([], 1.0, 0)
+
+    def test_series_summary(self):
+        series = [(0.0, 10), (5.0, 20)]
+        avg, peak = series_summary(series, horizon=10.0)
+        assert avg == pytest.approx(15.0)
+        assert peak == 20
+
+    def test_series_summary_empty(self):
+        assert series_summary([], 10.0) == (0.0, 0)
+
+    def test_sparkline_shape(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert len(line) == 8
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_sparkline_downsamples(self):
+        assert len(sparkline(list(range(1000)), width=50)) == 50
+
+    def test_sparkline_empty_and_flat(self):
+        assert sparkline([]) == ""
+        assert set(sparkline([0, 0, 0])) == {"▁"}
+
+
+class TestCompare:
+    def test_markdown_table(self):
+        cs = ComparisonSet()
+        cs.add("Table 2", "worker exploitation", "97%", "99%", True, "")
+        md = cs.markdown(title="t")
+        assert "| Table 2 |" in md
+        assert "✓" in md
+
+    def test_failures_listed(self):
+        cs = ComparisonSet()
+        cs.add("X", "m", "1", "2", False, "off")
+        assert not cs.all_hold()
+        assert len(cs.failures()) == 1
+
+    def test_text_rendering(self):
+        cs = ComparisonSet()
+        cs.add("Fig. 7", "peak", "1195", "1180", True)
+        assert "OK " in cs.text()
+        assert "Fig. 7" in cs.text()

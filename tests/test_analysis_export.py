@@ -1,0 +1,36 @@
+"""Tests for CSV export of regenerated figures/tables."""
+
+from repro.analysis.export import (
+    read_series_csv,
+    write_series_csv,
+    write_table2_csv,
+)
+from tests.test_analysis import sample_stats
+
+
+class TestSeriesCsv:
+    def test_roundtrip(self, tmp_path):
+        series = [(0.0, 0), (1.5, 10), (86400.0, 328)]
+        path = write_series_csv(tmp_path / "fig7.csv", series)
+        assert read_series_csv(path) == series
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = write_series_csv(tmp_path / "a" / "b" / "fig7.csv", [(0.0, 1)])
+        assert path.exists()
+
+    def test_custom_header(self, tmp_path):
+        path = write_series_csv(
+            tmp_path / "s.csv", [(1.0, 2)], header=("t", "n")
+        )
+        assert path.read_text().splitlines()[0] == "t,n"
+
+
+class TestTable2Csv:
+    def test_contains_all_rows(self, tmp_path):
+        path = write_table2_csv(tmp_path / "t2.csv", sample_stats())
+        text = path.read_text()
+        assert "Running wall clock time" in text
+        assert "Redundant nodes" in text
+        assert "best cost,3679.0" in text
+        assert "optimum proved,True" in text
+        assert len(text.splitlines()) == 13  # header + 10 rows + 2 extras

@@ -1,0 +1,106 @@
+"""Tests for the two-file checkpoint store (paper §4.1)."""
+
+import json
+import math
+
+import pytest
+
+from repro.core import CheckpointStore, Incumbent, Interval, IntervalSet
+from repro.exceptions import CheckpointError
+
+
+@pytest.fixture
+def store(tmp_path):
+    return CheckpointStore(tmp_path / "ckpt")
+
+
+class TestIntervalsFile:
+    def test_roundtrip(self, store):
+        s = IntervalSet.initial(Interval(0, 1000))
+        s.assign("w1")
+        s.update("w1", Interval(123, 1000))
+        s.assign("w2")
+        store.save_intervals(s)
+        restored = store.load_intervals()
+        assert restored.intervals() == s.intervals()
+        assert restored.size == s.size
+
+    def test_missing_file_returns_none(self, store):
+        assert store.load_intervals() is None
+
+    def test_bigints_survive_json(self, store):
+        big = math.factorial(50)
+        s = IntervalSet.initial(Interval(big - 7, big))
+        store.save_intervals(s)
+        assert store.load_intervals().intervals() == [Interval(big - 7, big)]
+
+    def test_threshold_passed_through(self, store):
+        store.save_intervals(IntervalSet.initial(Interval(0, 10)))
+        restored = store.load_intervals(duplication_threshold=42)
+        assert restored.duplication_threshold == 42
+
+    def test_corrupt_json_raises(self, store):
+        store.directory.mkdir(parents=True)
+        store.intervals_path.write_text("{ not json")
+        with pytest.raises(CheckpointError):
+            store.load_intervals()
+
+    def test_wrong_version_raises(self, store):
+        store.directory.mkdir(parents=True)
+        store.intervals_path.write_text(json.dumps({"version": 99}))
+        with pytest.raises(CheckpointError):
+            store.load_intervals()
+
+    def test_malformed_payload_raises(self, store):
+        store.directory.mkdir(parents=True)
+        store.intervals_path.write_text(
+            json.dumps({"version": 1, "intervals": [["x", "y"]]})
+        )
+        with pytest.raises(CheckpointError):
+            store.load_intervals()
+
+
+class TestSolutionFile:
+    def test_roundtrip(self, store):
+        store.save_solution(Incumbent(3679.0, (14, 37, 3)))
+        restored = store.load_solution()
+        assert restored.cost == 3679.0
+        assert restored.solution == (14, 37, 3)
+
+    def test_missing_file_returns_none(self, store):
+        assert store.load_solution() is None
+
+    def test_no_solution_yet(self, store):
+        store.save_solution(Incumbent())
+        restored = store.load_solution()
+        assert restored.cost == float("inf")
+        assert restored.solution is None
+
+    def test_integer_costs_preserved(self, store):
+        store.save_solution(Incumbent(3679, (1, 2)))
+        assert store.load_solution().cost == 3679
+
+
+class TestCombined:
+    def test_save_and_load_both(self, store):
+        intervals = IntervalSet.initial(Interval(0, 720))
+        incumbent = Incumbent(55.0, (2, 0, 1))
+        store.save(intervals, incumbent)
+        loaded_intervals, loaded_incumbent = store.load()
+        assert loaded_intervals.size == 720
+        assert loaded_incumbent.cost == 55.0
+
+    def test_clear_removes_files(self, store):
+        store.save(IntervalSet.initial(Interval(0, 10)), Incumbent(1.0, (0,)))
+        store.clear()
+        assert store.load() == (None, None)
+
+    def test_clear_is_idempotent(self, store):
+        store.clear()
+        store.clear()
+
+    def test_atomic_overwrite(self, store):
+        # Saving twice keeps the latest consistent state.
+        store.save_intervals(IntervalSet.initial(Interval(0, 10)))
+        store.save_intervals(IntervalSet.initial(Interval(5, 10)))
+        assert store.load_intervals().intervals() == [Interval(5, 10)]

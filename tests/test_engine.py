@@ -1,0 +1,244 @@
+"""Tests for the interval-constrained B&B engine."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    Incumbent,
+    Interval,
+    IntervalExplorer,
+    TreeShape,
+    brute_force_minimum,
+    solve,
+)
+from repro.core.engine import iter_leaf_costs
+from repro.core.problem import Problem
+from repro.exceptions import EngineError, ProblemError
+
+from tests.helpers import CountingLeafProblem, PermutationCostProblem, toy_cost_matrix
+
+
+class TestSequentialSolve:
+    @pytest.mark.parametrize("n,seed", [(4, 1), (5, 2), (6, 3), (7, 4)])
+    def test_optimum_matches_brute_force(self, n, seed):
+        problem = PermutationCostProblem(toy_cost_matrix(n, seed))
+        expected_cost, _ = problem.brute_force()
+        result = solve(problem)
+        assert result.cost == expected_cost
+        assert result.optimal
+
+    def test_solution_is_a_valid_permutation(self):
+        problem = PermutationCostProblem(toy_cost_matrix(6, 9))
+        result = solve(problem)
+        assert sorted(result.solution) == list(range(6))
+
+    def test_solution_cost_consistent(self):
+        problem = PermutationCostProblem(toy_cost_matrix(6, 5))
+        result = solve(problem)
+        recomputed = sum(
+            problem.cost[pos][e] for pos, e in enumerate(result.solution)
+        )
+        assert recomputed == result.cost
+
+    def test_pruning_reduces_nodes_vs_brute_force(self):
+        problem = PermutationCostProblem(toy_cost_matrix(6, 7))
+        pruned = solve(problem).stats
+        exhaustive = brute_force_minimum(problem).stats
+        assert pruned.nodes_explored < exhaustive.nodes_explored
+        assert exhaustive.leaves_evaluated == math.factorial(6)
+
+    def test_initial_upper_bound_tightens_search(self):
+        problem = PermutationCostProblem(toy_cost_matrix(6, 7))
+        optimum = solve(problem).cost
+        warm = solve(problem, initial_upper_bound=optimum + 1)
+        cold = solve(problem, initial_upper_bound=math.inf)
+        assert warm.cost == optimum
+        assert warm.stats.nodes_explored <= cold.stats.nodes_explored
+
+    def test_upper_bound_equal_to_optimum_proves_without_solution(self):
+        # The paper's first Ta056 run started from UB 3681 (best known);
+        # a UB equal to the optimum yields proof but no schedule unless
+        # the initial solution is supplied.
+        problem = PermutationCostProblem(toy_cost_matrix(5, 3))
+        optimum = solve(problem).cost
+        result = solve(problem, initial_upper_bound=optimum)
+        assert result.cost == optimum
+        assert result.solution is None
+
+    def test_initial_solution_carried_through(self):
+        problem = PermutationCostProblem(toy_cost_matrix(5, 3))
+        full = solve(problem)
+        result = solve(
+            problem,
+            initial_upper_bound=full.cost,
+            initial_solution=full.solution,
+        )
+        assert result.solution == full.solution
+
+
+class TestIntervalConstrainedExploration:
+    def test_explores_exactly_the_interval_leaves(self):
+        shape = TreeShape.permutation(4)
+        problem = CountingLeafProblem(shape)
+        explorer = IntervalExplorer(problem, Interval(5, 17))
+        explorer.run()
+        assert problem.visited_leaves == list(range(5, 17))
+
+    def test_minimum_over_interval_is_its_begin(self):
+        shape = TreeShape([3, 2, 2])
+        problem = CountingLeafProblem(shape)
+        result = solve(problem, interval=Interval(4, 9))
+        assert result.cost == 4.0
+
+    def test_interval_partition_equals_full_exploration(self):
+        # Splitting the root range across two explorers must find the
+        # global optimum in exactly one of the parts.
+        problem = PermutationCostProblem(toy_cost_matrix(5, 11))
+        expected = solve(problem).cost
+        total = problem.tree_shape().total_leaves
+        mid = total // 3
+        left = solve(problem, interval=Interval(0, mid)).cost
+        right = solve(problem, interval=Interval(mid, total)).cost
+        assert min(left, right) == expected
+
+    def test_empty_interval_is_finished_immediately(self):
+        problem = CountingLeafProblem(TreeShape.binary(4))
+        explorer = IntervalExplorer(problem, Interval(3, 3))
+        assert explorer.is_finished()
+        assert explorer.remaining_interval().is_empty()
+
+    def test_leaf_visit_order_is_number_order(self):
+        shape = TreeShape.binary(4)
+        problem = CountingLeafProblem(shape)
+        IntervalExplorer(problem, Interval(2, 13)).run()
+        assert problem.visited_leaves == sorted(problem.visited_leaves)
+
+
+class TestResumability:
+    def test_step_budget_is_respected(self):
+        problem = CountingLeafProblem(TreeShape.permutation(5))
+        explorer = IntervalExplorer(problem)
+        report = explorer.step(10)
+        assert report.nodes_processed == 10
+        assert not report.finished
+
+    def test_remaining_interval_shrinks_monotonically(self):
+        problem = CountingLeafProblem(TreeShape.permutation(5))
+        explorer = IntervalExplorer(problem)
+        begins = []
+        while not explorer.is_finished():
+            begins.append(explorer.remaining_interval().begin)
+            explorer.step(7)
+        assert begins == sorted(begins)
+
+    def test_checkpoint_resume_equivalence(self):
+        # Stop an exploration mid-way, fold its frontier, and resume a
+        # *fresh* explorer from the folded interval: the union of both
+        # visits must equal a straight-through run.
+        shape = TreeShape.permutation(5)
+        problem = CountingLeafProblem(shape)
+        first = IntervalExplorer(problem, Interval(10, 100))
+        first.step(25)
+        checkpoint = first.remaining_interval()
+        visited_before = list(problem.visited_leaves)
+
+        resumed_problem = CountingLeafProblem(shape)
+        IntervalExplorer(resumed_problem, checkpoint).run()
+        assert visited_before + resumed_problem.visited_leaves == list(
+            range(10, 100)
+        )
+
+    def test_active_list_folds_to_remaining_interval(self):
+        from repro.core import fold
+
+        problem = CountingLeafProblem(TreeShape.permutation(5))
+        explorer = IntervalExplorer(problem, Interval(0, 120))
+        explorer.step(13)
+        active = explorer.active_list()
+        assert fold(active) == explorer.remaining_interval()
+
+
+class TestCoordinationHooks:
+    def test_restrict_end_limits_exploration(self):
+        problem = CountingLeafProblem(TreeShape.permutation(4))
+        explorer = IntervalExplorer(problem, Interval(0, 24))
+        explorer.step(3)
+        explorer.restrict_end(10)
+        explorer.run()
+        assert max(problem.visited_leaves) <= 9
+
+    def test_restrict_end_cannot_extend(self):
+        explorer = IntervalExplorer(
+            CountingLeafProblem(TreeShape.binary(3)), Interval(0, 4)
+        )
+        with pytest.raises(EngineError):
+            explorer.restrict_end(8)
+
+    def test_apply_interval_intersects(self):
+        problem = CountingLeafProblem(TreeShape.permutation(4))
+        explorer = IntervalExplorer(problem, Interval(0, 24))
+        explorer.step(2)
+        explorer.apply_interval(Interval(0, 12))
+        assert explorer.end == 12
+
+    def test_apply_empty_interval_drops_everything(self):
+        problem = CountingLeafProblem(TreeShape.permutation(4))
+        explorer = IntervalExplorer(problem, Interval(0, 24))
+        explorer.step(2)
+        explorer.apply_interval(Interval(20, 24))  # disjoint from rest
+        # remaining was [x, 24) with x small; intersect = [20,24)...
+        # use a really disjoint one instead:
+        explorer.apply_interval(Interval(0, 0))
+        assert explorer.is_finished()
+
+    def test_set_upper_bound_prunes_more(self):
+        problem = PermutationCostProblem(toy_cost_matrix(6, 13))
+        optimum = solve(problem).cost
+        explorer = IntervalExplorer(problem)
+        explorer.set_upper_bound(optimum)  # as if shared by coordinator
+        explorer.run()
+        assert explorer.incumbent.cost == optimum
+
+    def test_set_upper_bound_ignores_worse(self):
+        explorer = IntervalExplorer(
+            PermutationCostProblem(toy_cost_matrix(4, 1)),
+            incumbent=Incumbent(100.0, (0, 1, 2, 3)),
+        )
+        assert not explorer.set_upper_bound(150.0)
+        assert explorer.incumbent.cost == 100.0
+
+    def test_on_improvement_callback_fires(self):
+        seen = []
+        problem = PermutationCostProblem(toy_cost_matrix(5, 17))
+        solve(problem, on_improvement=lambda c, s: seen.append(c))
+        assert seen == sorted(seen, reverse=True)
+        assert seen[-1] == solve(problem).cost
+
+
+class TestProblemContract:
+    def test_wrong_child_count_raises(self):
+        class Broken(Problem):
+            def tree_shape(self):
+                return TreeShape.binary(2)
+
+            def root_state(self):
+                return 0
+
+            def branch(self, state, depth):
+                return [0]  # should be 2 children
+
+            def lower_bound(self, state, depth):
+                return -math.inf
+
+            def leaf_cost(self, state):
+                return 0.0
+
+        with pytest.raises(ProblemError):
+            solve(Broken())
+
+    def test_iter_leaf_costs_order(self):
+        problem = CountingLeafProblem(TreeShape([2, 3]))
+        pairs = list(iter_leaf_costs(problem))
+        assert [n for n, _ in pairs] == list(range(6))
+        assert all(n == c for n, c in pairs)

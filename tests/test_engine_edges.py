@@ -1,0 +1,140 @@
+"""Edge-case tests for the engine, stats and incumbents."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    ExplorationStats,
+    Incumbent,
+    Interval,
+    IntervalExplorer,
+    TreeShape,
+    fold,
+)
+
+from tests.helpers import CountingLeafProblem, PermutationCostProblem, toy_cost_matrix
+
+
+class TestRestrictStraddle:
+    def test_restrict_through_a_frontier_nodes_range(self):
+        # Cut the interval at a point strictly inside a frontier node's
+        # range: exploration must stop exactly at the cut.
+        shape = TreeShape.permutation(4)
+        problem = CountingLeafProblem(shape)
+        explorer = IntervalExplorer(problem, Interval(0, 24))
+        explorer.step(1)  # decompose the root: frontier = 4 children
+        explorer.restrict_end(9)  # inside child [1]'s range [6, 12)
+        explorer.run()
+        assert problem.visited_leaves == list(range(9))
+
+    def test_restrict_to_current_position_finishes(self):
+        shape = TreeShape.permutation(4)
+        problem = CountingLeafProblem(shape)
+        explorer = IntervalExplorer(problem, Interval(0, 24))
+        explorer.step(5)
+        position = explorer.remaining_interval().begin
+        explorer.restrict_end(position)
+        report = explorer.step(10)
+        assert explorer.is_finished()
+        assert max(problem.visited_leaves, default=-1) < position
+
+    def test_repeated_restricts_monotone(self):
+        shape = TreeShape.binary(6)
+        problem = CountingLeafProblem(shape)
+        explorer = IntervalExplorer(problem, Interval(0, 64))
+        for end in (60, 50, 50, 33):
+            explorer.restrict_end(end)
+            assert explorer.end == end
+        explorer.run()
+        assert max(problem.visited_leaves) == 32
+
+
+class TestStepSemantics:
+    def test_finishing_mid_budget_reports_finished(self):
+        problem = CountingLeafProblem(TreeShape.binary(3))
+        explorer = IntervalExplorer(problem, Interval(0, 8))
+        report = explorer.step(10_000)
+        assert report.finished
+        assert report.nodes_processed < 10_000
+
+    def test_zero_budget_step_is_noop(self):
+        problem = CountingLeafProblem(TreeShape.binary(3))
+        explorer = IntervalExplorer(problem)
+        report = explorer.step(0)
+        assert report.nodes_processed == 0
+        assert not report.finished
+
+    def test_run_after_finish_is_harmless(self):
+        problem = CountingLeafProblem(TreeShape.binary(3))
+        explorer = IntervalExplorer(problem)
+        explorer.run()
+        explorer.run()
+        assert explorer.is_finished()
+
+    def test_improved_flag(self):
+        problem = PermutationCostProblem(toy_cost_matrix(5, 3))
+        explorer = IntervalExplorer(problem)
+        saw_improvement = False
+        while not explorer.is_finished():
+            if explorer.step(3).improved:
+                saw_improvement = True
+        assert saw_improvement
+
+
+class TestFoldConsistencyUnderExploration:
+    def test_fold_matches_remaining_interval_every_step(self):
+        problem = CountingLeafProblem(TreeShape.permutation(5))
+        explorer = IntervalExplorer(problem, Interval(7, 103))
+        while not explorer.is_finished():
+            active = explorer.active_list()
+            if len(active):
+                assert fold(active) == explorer.remaining_interval()
+            explorer.step(4)
+
+
+class TestStats:
+    def test_merge_adds_counters(self):
+        a = ExplorationStats(nodes_explored=5, nodes_pruned=2)
+        b = ExplorationStats(nodes_explored=3, leaves_evaluated=1)
+        a.merge(b)
+        assert a.nodes_explored == 8
+        assert a.nodes_pruned == 2
+        assert a.leaves_evaluated == 1
+
+    def test_as_dict_roundtrip(self):
+        s = ExplorationStats(nodes_explored=7, improvements=2)
+        d = s.as_dict()
+        assert d["nodes_explored"] == 7
+        assert d["improvements"] == 2
+        assert set(d) == {
+            "nodes_explored", "nodes_decomposed", "nodes_pruned",
+            "leaves_evaluated", "improvements", "bound_evaluations",
+            "nodes_skipped_out_of_range",
+        }
+
+    def test_node_accounting_balances(self):
+        problem = PermutationCostProblem(toy_cost_matrix(6, 5))
+        explorer = IntervalExplorer(problem)
+        explorer.run()
+        s = explorer.stats
+        assert (
+            s.nodes_explored
+            == s.nodes_decomposed + s.nodes_pruned + s.leaves_evaluated
+        )
+
+
+class TestIncumbent:
+    def test_update_and_improves_on(self):
+        a = Incumbent()
+        assert a.update(10.0, "x")
+        assert not a.update(11.0, "y")
+        assert a.solution == "x"
+        b = Incumbent(9.0, "z")
+        assert b.improves_on(a)
+
+    def test_copy_is_independent(self):
+        a = Incumbent(5.0, (1, 2))
+        b = a.copy()
+        b.update(1.0, (2, 1))
+        assert a.cost == 5.0

@@ -1,0 +1,61 @@
+"""Tests for the batched makespan kernel."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ProblemError
+from repro.problems.flowshop import makespan, random_instance
+from repro.problems.flowshop.batch import makespans_batch, random_permutations
+
+
+class TestBatchedMakespan:
+    def test_matches_scalar_sweep(self):
+        inst = random_instance(9, 5, seed=4)
+        perms = random_permutations(9, batch=32, seed=7)
+        batch_values = makespans_batch(inst, perms)
+        for row, value in zip(perms, batch_values):
+            assert makespan(inst, list(row)) == value
+
+    def test_single_row_batch(self):
+        inst = random_instance(5, 3, seed=1)
+        perm = [[3, 1, 4, 0, 2]]
+        assert makespans_batch(inst, perm)[0] == makespan(inst, perm[0])
+
+    def test_identity_batch_all_equal(self):
+        inst = random_instance(6, 4, seed=2)
+        perms = [list(range(6))] * 8
+        values = makespans_batch(inst, perms)
+        assert len(set(values.tolist())) == 1
+
+    def test_wrong_width_rejected(self):
+        inst = random_instance(5, 3, seed=1)
+        with pytest.raises(ProblemError):
+            makespans_batch(inst, [[0, 1, 2]])
+
+    def test_non_permutation_row_rejected(self):
+        inst = random_instance(4, 2, seed=1)
+        with pytest.raises(ProblemError):
+            makespans_batch(inst, [[0, 1, 2, 2]])
+
+    def test_dtype_and_shape(self):
+        inst = random_instance(6, 3, seed=9)
+        out = makespans_batch(inst, random_permutations(6, 10, seed=1))
+        assert out.shape == (10,)
+        assert out.dtype == np.int64
+
+
+class TestRandomPermutations:
+    def test_rows_are_permutations(self):
+        perms = random_permutations(7, batch=20, seed=3)
+        expected = list(range(7))
+        for row in perms:
+            assert sorted(row.tolist()) == expected
+
+    def test_deterministic(self):
+        a = random_permutations(6, 5, seed=8)
+        b = random_permutations(6, 5, seed=8)
+        assert (a == b).all()
+
+    def test_varied(self):
+        perms = random_permutations(8, batch=30, seed=2)
+        assert len({tuple(r) for r in perms.tolist()}) > 20

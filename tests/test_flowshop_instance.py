@@ -1,0 +1,172 @@
+"""Tests for flow-shop instances and the Taillard generator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ProblemError
+from repro.problems.flowshop import (
+    FlowShopInstance,
+    TIME_SEEDS,
+    TaillardRNG,
+    instance_classes,
+    makespan,
+    random_instance,
+    taillard_instance,
+    taillard_matrix,
+)
+
+# The optimal Ta056 schedule printed in the paper (§5.3), 1-indexed.
+PAPER_TA056_SCHEDULE = [
+    14, 37, 3, 18, 8, 33, 11, 21, 42, 5, 13, 49, 50, 20, 28, 45, 43,
+    41, 46, 15, 24, 44, 40, 36, 39, 4, 16, 47, 17, 27, 1, 26, 10, 19,
+    32, 25, 30, 7, 2, 31, 23, 6, 48, 22, 29, 34, 9, 35, 38, 12,
+]
+
+
+class TestInstanceBasics:
+    def test_shape_properties(self):
+        inst = FlowShopInstance([[1, 2], [3, 4], [5, 6]])
+        assert inst.jobs == 3
+        assert inst.machines == 2
+
+    def test_processing_times_read_only(self):
+        inst = FlowShopInstance([[1, 2], [3, 4]])
+        with pytest.raises(ValueError):
+            inst.processing_times[0, 0] = 9
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ProblemError):
+            FlowShopInstance([1, 2, 3])
+
+    def test_negative_times_rejected(self):
+        with pytest.raises(ProblemError):
+            FlowShopInstance([[1, -2]])
+
+    def test_job_and_machine_totals(self):
+        inst = FlowShopInstance([[1, 2], [3, 4]])
+        assert inst.job_totals().tolist() == [3, 7]
+        assert inst.machine_totals().tolist() == [4, 6]
+
+    def test_trivial_lower_bound_is_admissible(self):
+        import itertools
+
+        inst = random_instance(6, 3, seed=7)
+        optimum = min(
+            makespan(inst, p) for p in itertools.permutations(range(6))
+        )
+        assert inst.trivial_lower_bound() <= optimum
+
+    def test_equality_and_hash(self):
+        a = FlowShopInstance([[1, 2], [3, 4]], name="x")
+        b = FlowShopInstance([[1, 2], [3, 4]], name="y")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_random_instance_deterministic(self):
+        a = random_instance(5, 3, seed=42)
+        b = random_instance(5, 3, seed=42)
+        assert a == b
+        assert not np.array_equal(
+            a.processing_times, random_instance(5, 3, seed=43).processing_times
+        )
+
+    def test_random_instance_range(self):
+        inst = random_instance(50, 10, seed=1)
+        assert inst.processing_times.min() >= 1
+        assert inst.processing_times.max() <= 99
+
+
+class TestTaillardRNG:
+    def test_first_values_deterministic(self):
+        rng = TaillardRNG(12345)
+        values = [rng.next_int(1, 99) for _ in range(5)]
+        rng2 = TaillardRNG(12345)
+        assert values == [rng2.next_int(1, 99) for _ in range(5)]
+
+    def test_values_in_bounds(self):
+        rng = TaillardRNG(873654221)
+        for _ in range(10000):
+            v = rng.next_int(1, 99)
+            assert 1 <= v <= 99
+
+    def test_full_period_state_progression(self):
+        # The Lehmer recurrence: state' = 16807 * state mod (2**31 - 1).
+        rng = TaillardRNG(1)
+        rng.next_float()
+        assert rng.seed == 16807
+        rng.next_float()
+        assert rng.seed == 16807 * 16807 % (2**31 - 1)
+
+    def test_invalid_seed_rejected(self):
+        with pytest.raises(ProblemError):
+            TaillardRNG(0)
+        with pytest.raises(ProblemError):
+            TaillardRNG(2**31 - 1)
+
+
+class TestTaillardInstances:
+    def test_ta001_neh_value_is_published_1286(self):
+        # The strongest generator check available offline: NEH on the
+        # real Ta001 is famously 1286 (optimum 1278).  A single wrong
+        # byte in the generator breaks this.
+        from repro.problems.flowshop import neh
+
+        seq, value = neh(taillard_instance(20, 5, 1))
+        assert value == 1286
+
+    def test_ta056_identity_via_paper_schedule(self):
+        # Evaluating the paper's printed optimal schedule on our Ta056
+        # gives 3680 — within one unit of the claimed optimum 3679 and
+        # ~1000 units below what a random 50x20 instance would give,
+        # which pins the time seed (1923497586) uniquely; see
+        # EXPERIMENTS.md for the off-by-one discussion (the preprint's
+        # printed permutation appears to carry a typo).
+        ta56 = taillard_instance(50, 20, 6)
+        perm = [j - 1 for j in PAPER_TA056_SCHEDULE]
+        value = makespan(ta56, perm)
+        assert value == 3680
+        # The paper's claim "improves the best known solution (3681)"
+        # holds for this schedule as well.
+        assert value < 3681
+
+    def test_ta056_name(self):
+        assert taillard_instance(50, 20, 6).name == "Ta056"
+
+    def test_instance_numbering_across_classes(self):
+        assert taillard_instance(20, 5, 1).name == "Ta001"
+        assert taillard_instance(20, 10, 1).name == "Ta011"
+        assert taillard_instance(50, 20, 10).name == "Ta060"
+        assert taillard_instance(500, 20, 10).name == "Ta120"
+
+    def test_matrix_shape_and_bounds(self):
+        p = taillard_matrix(20, 5, 873654221)
+        assert p.shape == (20, 5)
+        assert p.min() >= 1 and p.max() <= 99
+
+    def test_machine_major_generation_order(self):
+        # The first 20 draws fill machine 0 for all jobs.
+        seed = 873654221
+        rng = TaillardRNG(seed)
+        first_draws = [rng.next_int(1, 99) for _ in range(20)]
+        p = taillard_matrix(20, 5, seed)
+        assert p[:, 0].tolist() == first_draws
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ProblemError):
+            taillard_instance(30, 7, 1)
+
+    def test_index_out_of_range_rejected(self):
+        with pytest.raises(ProblemError):
+            taillard_instance(20, 5, 0)
+        with pytest.raises(ProblemError):
+            taillard_instance(20, 5, 11)
+
+    def test_all_classes_have_ten_seeds(self):
+        for key, seeds in TIME_SEEDS.items():
+            assert len(seeds) == 10, key
+
+    def test_instance_classes_listing(self):
+        classes = instance_classes()
+        assert classes[0] == (20, 5)
+        assert (50, 20) in classes
+        assert len(classes) == 12

@@ -1,0 +1,87 @@
+"""Tests for Taillard-format instance file I/O."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ProblemError
+from repro.problems.flowshop import random_instance, taillard_instance
+from repro.problems.flowshop.io import (
+    InstanceMetadata,
+    read_instance,
+    write_instance,
+)
+
+
+class TestRoundTrip:
+    def test_stream_roundtrip(self):
+        original = random_instance(7, 4, seed=3)
+        buffer = io.StringIO()
+        write_instance(original, buffer)
+        buffer.seek(0)
+        loaded, _ = read_instance(buffer)
+        assert loaded == original
+
+    def test_file_roundtrip_with_metadata(self, tmp_path):
+        original = taillard_instance(20, 5, 1)
+        path = tmp_path / "ta001.txt"
+        write_instance(
+            original,
+            path,
+            InstanceMetadata(seed=873654221, upper_bound=1278, lower_bound=1232),
+        )
+        loaded, meta = read_instance(path)
+        assert loaded == original
+        assert meta.seed == 873654221
+        assert meta.upper_bound == 1278
+        assert meta.lower_bound == 1232
+
+    def test_name_from_path(self, tmp_path):
+        path = tmp_path / "my_instance.txt"
+        write_instance(random_instance(4, 2, seed=1), path)
+        loaded, _ = read_instance(path)
+        assert loaded.name == "my_instance"
+
+    def test_machine_major_layout(self):
+        # Two jobs, three machines: rows in the file are machines.
+        from repro.problems.flowshop import FlowShopInstance
+
+        inst = FlowShopInstance([[1, 2, 3], [4, 5, 6]])
+        buffer = io.StringIO()
+        write_instance(inst, buffer)
+        lines = [
+            l for l in buffer.getvalue().splitlines()
+            if l and l[0] == " " and ":" not in l
+        ]
+        rows = [list(map(int, l.split())) for l in lines[1:]]
+        assert rows == [[1, 4], [2, 5], [3, 6]]
+
+
+class TestReaderTolerance:
+    def test_reads_classic_format(self):
+        text = (
+            "number of jobs, number of machines, initial seed, "
+            "upper bound and lower bound :\n"
+            "          3           2   123456789        99        90\n"
+            "processing times :\n"
+            " 10 20 30\n"
+            " 40 50 60\n"
+        )
+        inst, meta = read_instance(io.StringIO(text))
+        assert inst.jobs == 3 and inst.machines == 2
+        assert inst.processing_times.tolist() == [[10, 40], [20, 50], [30, 60]]
+        assert meta.seed == 123456789
+
+    def test_wrong_count_rejected(self):
+        text = "3 2 0 0 0\n1 2 3\n"
+        with pytest.raises(ProblemError):
+            read_instance(io.StringIO(text))
+
+    def test_empty_file_rejected(self):
+        with pytest.raises(ProblemError):
+            read_instance(io.StringIO("no numbers here"))
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ProblemError):
+            read_instance(io.StringIO("0 5 0 0 0"))

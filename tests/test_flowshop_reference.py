@@ -1,0 +1,56 @@
+"""Cross-validation of the Taillard generator against literature optima.
+
+For the fully-solved 20x5 class, the recorded optimum must sit between
+our trivial lower bound and our NEH upper bound on the *regenerated*
+instance — ten independent checks that the seed table, the generator
+and the kernels all agree with thirty years of literature.
+"""
+
+import pytest
+
+from repro.problems.flowshop import (
+    KNOWN_OPTIMA,
+    known_optimum,
+    neh,
+    optimality_gap,
+    taillard_instance,
+)
+
+
+class TestKnownOptima:
+    @pytest.mark.parametrize("index", range(1, 11))
+    def test_20x5_optimum_bracketed_by_our_bounds(self, index):
+        instance = taillard_instance(20, 5, index)
+        optimum = known_optimum(20, 5, index)
+        _, upper = neh(instance)
+        assert instance.trivial_lower_bound() <= optimum <= upper
+
+    @pytest.mark.parametrize("index", range(1, 11))
+    def test_neh_gap_in_plausible_range(self, index):
+        # NEH's literature reputation: typically within a few percent.
+        instance = taillard_instance(20, 5, index)
+        _, upper = neh(instance)
+        gap = optimality_gap(upper, 20, 5, index)
+        assert 0.0 <= gap < 0.10
+
+    def test_ta001_exact_values(self):
+        assert known_optimum(20, 5, 1) == 1278
+        _, upper = neh(taillard_instance(20, 5, 1))
+        assert upper == 1286  # the published NEH result
+
+    def test_ta056_recorded(self):
+        assert known_optimum(50, 20, 6) == 3679
+
+    def test_unknown_instance_returns_none(self):
+        assert known_optimum(100, 20, 3) is None
+        assert optimality_gap(5000, 100, 20, 3) is None
+
+    def test_gap_sign_convention(self):
+        assert optimality_gap(1278, 20, 5, 1) == 0.0
+        assert optimality_gap(1290, 20, 5, 1) > 0.0
+        assert optimality_gap(1270, 20, 5, 1) < 0.0  # red flag
+
+    def test_all_recorded_classes_resolvable(self):
+        for jobs, machines, index in KNOWN_OPTIMA:
+            instance = taillard_instance(jobs, machines, index)
+            assert instance.jobs == jobs

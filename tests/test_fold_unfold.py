@@ -1,0 +1,158 @@
+"""Tests for the fold and unfold operators (paper §3.4–§3.5).
+
+These are the paper's two central operators; the suite checks the
+eq. 10 shortcut against the eq. 8 union, the minimality/uniqueness of
+eq. 11, the round-trip laws, and the <P-decompositions cost claim.
+"""
+
+import pytest
+
+from repro.core import (
+    ActiveList,
+    ActiveNode,
+    Interval,
+    TreeShape,
+    fold,
+    fold_by_union,
+    node_range,
+    unfold,
+    unfold_with_stats,
+)
+from repro.exceptions import FoldError
+
+
+def all_intervals(total: int):
+    for begin in range(total + 1):
+        for end in range(begin, total + 1):
+            yield Interval(begin, end)
+
+
+class TestFold:
+    def test_fold_single_root(self):
+        shape = TreeShape.permutation(4)
+        active = ActiveList.whole_tree(shape)
+        assert fold(active) == Interval(0, 24)
+
+    def test_fold_empty_list_is_empty_interval(self):
+        assert fold(ActiveList(TreeShape.binary(3))).is_empty()
+
+    def test_fold_uses_only_first_and_last(self):
+        # eq. 10 on the paper's Figure 4 situation: a mid-DFS frontier.
+        shape = TreeShape.permutation(3)
+        active = ActiveList.from_rank_paths(
+            shape, [(0, 1, 0), (1,), (2,)]
+        )
+        assert fold(active) == Interval(1, 6)
+
+    def test_fold_matches_union_reference(self):
+        shape = TreeShape.permutation(4)
+        for interval in [Interval(0, 24), Interval(5, 17), Interval(1, 2)]:
+            active = unfold(shape, interval)
+            assert fold(active) == fold_by_union(active)
+
+    def test_noncontiguous_list_rejected(self):
+        shape = TreeShape.permutation(3)
+        with pytest.raises(FoldError):
+            ActiveList.from_rank_paths(shape, [(0,), (2,)])
+
+
+class TestUnfold:
+    def test_unfold_whole_range_gives_root(self):
+        shape = TreeShape.permutation(4)
+        active = unfold(shape, Interval(0, 24))
+        assert active.rank_paths() == [()]
+
+    def test_unfold_empty_interval(self):
+        shape = TreeShape.permutation(4)
+        assert unfold(shape, Interval(7, 7)).is_empty()
+        assert unfold(shape, Interval(9, 3)).is_empty()
+
+    def test_unfold_clips_to_tree(self):
+        shape = TreeShape.binary(3)
+        active = unfold(shape, Interval(-5, 100))
+        assert fold(active) == Interval(0, 8)
+
+    def test_unfold_single_leaf(self):
+        shape = TreeShape.permutation(4)
+        active = unfold(shape, Interval(13, 14))
+        assert len(active) == 1
+        assert active[0].range == Interval(13, 14)
+
+    def test_unfold_covers_exactly_the_interval(self):
+        shape = TreeShape.permutation(4)
+        for interval in all_intervals(24):
+            active = unfold(shape, interval)
+            covered = sorted(
+                n
+                for node in active
+                for n in range(node.range.begin, node.range.end)
+            )
+            assert covered == list(range(interval.begin, interval.end))
+
+    def test_unfold_minimality_eq11(self):
+        # Every emitted node's father range must NOT be included in the
+        # interval — otherwise the father should have been emitted.
+        shape = TreeShape.permutation(4)
+        for interval in [Interval(5, 17), Interval(0, 12), Interval(3, 23)]:
+            for node in unfold(shape, interval):
+                if node.depth == 0:
+                    continue
+                father = node.ranks[:-1]
+                father_range = node_range(shape, father)
+                assert not interval.contains_interval(father_range)
+
+    def test_unfold_list_is_sorted_and_contiguous(self):
+        # The ActiveList constructor enforces eq. 9; a successful
+        # construction is itself the assertion, but double-check order.
+        shape = TreeShape([3, 2, 2])
+        for interval in all_intervals(12):
+            active = unfold(shape, interval)
+            numbers = [node.number for node in active]
+            assert numbers == sorted(numbers)
+
+
+class TestRoundTrips:
+    def test_fold_after_unfold_is_identity_on_intervals(self):
+        shape = TreeShape.permutation(4)
+        for interval in all_intervals(24):
+            if interval.is_empty():
+                assert fold(unfold(shape, interval)).is_empty()
+            else:
+                assert fold(unfold(shape, interval)) == interval
+
+    def test_unfold_after_fold_is_identity_on_frontiers(self):
+        # Build genuine DFS frontiers by unfolding, then round-trip.
+        shape = TreeShape([2, 3, 2])
+        for interval in all_intervals(shape.total_leaves):
+            active = unfold(shape, interval)
+            assert unfold(shape, fold(active)) == active
+
+
+class TestUnfoldCost:
+    def test_decomposition_count_below_2P(self):
+        # §3.5: "the B&B performs less than P decompositions" per
+        # boundary; with two boundaries the bound is 2P.
+        shape = TreeShape.permutation(7)
+        P = shape.leaf_depth
+        for interval in [
+            Interval(1, 5039),
+            Interval(123, 4567),
+            Interval(2519, 2521),
+            Interval(0, 1),
+        ]:
+            _, stats = unfold_with_stats(shape, interval)
+            assert stats.decompositions <= 2 * P
+
+    def test_cost_independent_of_interval_length(self):
+        shape = TreeShape.permutation(12)
+        total = shape.total_leaves
+        _, small = unfold_with_stats(shape, Interval(10, 20))
+        _, huge = unfold_with_stats(shape, Interval(1, total - 1))
+        assert huge.decompositions <= 2 * shape.leaf_depth
+        assert small.decompositions <= 2 * shape.leaf_depth
+
+    def test_emitted_count_bounded_by_decomposition_children(self):
+        shape = TreeShape.permutation(6)
+        active, stats = unfold_with_stats(shape, Interval(37, 650))
+        assert stats.nodes_emitted == len(active)
+        assert stats.nodes_emitted <= stats.children_examined

@@ -1,0 +1,156 @@
+"""Unit tests for the Interval value type (work units, §3 and eq. 14)."""
+
+import pytest
+
+from repro.core import Interval
+from repro.exceptions import IntervalError
+
+
+class TestBasics:
+    def test_length(self):
+        assert Interval(3, 10).length == 7
+
+    def test_empty_when_begin_equals_end(self):
+        assert Interval(5, 5).is_empty()
+
+    def test_empty_when_begin_exceeds_end(self):
+        # "An interval is empty when its beginning is higher than its end."
+        assert Interval(7, 5).is_empty()
+        assert Interval(7, 5).length == 0
+
+    def test_membership(self):
+        iv = Interval(2, 5)
+        assert 2 in iv
+        assert 4 in iv
+        assert 5 not in iv
+        assert 1 not in iv
+
+    def test_non_int_bounds_rejected(self):
+        with pytest.raises(IntervalError):
+            Interval(0.5, 2)  # type: ignore[arg-type]
+
+    def test_bigint_support(self):
+        big = 10**64
+        iv = Interval(big, big + 3)
+        assert iv.length == 3
+        assert big + 2 in iv
+
+
+class TestIntersection:
+    def test_eq14_overlap(self):
+        # [A,B) ∩ [A',B') = [max(A,A'), min(B,B'))
+        assert Interval(0, 10).intersect(Interval(4, 20)) == Interval(4, 10)
+
+    def test_eq14_disjoint_yields_empty(self):
+        assert Interval(0, 5).intersect(Interval(7, 9)).is_empty()
+
+    def test_eq14_worker_and_balancer_scenario(self):
+        # Worker advanced A to 6 while the balancer cut B' to 8.
+        worker_view = Interval(6, 12)
+        coordinator_copy = Interval(0, 8)
+        assert worker_view.intersect(coordinator_copy) == Interval(6, 8)
+
+    def test_intersection_commutative(self):
+        a, b = Interval(2, 9), Interval(5, 14)
+        assert a.intersect(b) == b.intersect(a)
+
+    def test_intersection_with_self_is_identity(self):
+        iv = Interval(3, 8)
+        assert iv.intersect(iv) == iv
+
+
+class TestContainmentAndAdjacency:
+    def test_contains_interval(self):
+        assert Interval(0, 10).contains_interval(Interval(2, 5))
+        assert not Interval(0, 10).contains_interval(Interval(5, 11))
+
+    def test_empty_is_subset_of_everything(self):
+        assert Interval(3, 4).contains_interval(Interval(9, 9))
+
+    def test_overlaps(self):
+        assert Interval(0, 5).overlaps(Interval(4, 9))
+        assert not Interval(0, 5).overlaps(Interval(5, 9))  # half-open
+
+    def test_adjacency(self):
+        assert Interval(0, 4).is_adjacent_left_of(Interval(4, 9))
+        assert not Interval(0, 4).is_adjacent_left_of(Interval(5, 9))
+
+
+class TestSplit:
+    def test_split_at_interior_point(self):
+        left, right = Interval(0, 10).split_at(4)
+        assert left == Interval(0, 4)
+        assert right == Interval(4, 10)
+
+    def test_split_at_begin_gives_all_to_requester(self):
+        # The paper's virtual null-power holder: C == A.
+        left, right = Interval(3, 9).split_at(3)
+        assert left.is_empty()
+        assert right == Interval(3, 9)
+
+    def test_split_point_clamped(self):
+        left, right = Interval(3, 9).split_at(100)
+        assert left == Interval(3, 9)
+        assert right.is_empty()
+        left, right = Interval(3, 9).split_at(-5)
+        assert left.is_empty()
+        assert right == Interval(3, 9)
+
+    def test_split_preserves_total_length(self):
+        iv = Interval(5, 17)
+        for point in range(3, 20):
+            left, right = iv.split_at(point)
+            assert left.length + right.length == iv.length
+
+
+class TestMonotoneUpdates:
+    def test_advance_to(self):
+        assert Interval(2, 9).advance_to(5) == Interval(5, 9)
+
+    def test_advance_backwards_rejected(self):
+        with pytest.raises(IntervalError):
+            Interval(4, 9).advance_to(3)
+
+    def test_restrict_end(self):
+        assert Interval(2, 9).restrict_end(6) == Interval(2, 6)
+
+    def test_restrict_end_forwards_rejected(self):
+        with pytest.raises(IntervalError):
+            Interval(2, 9).restrict_end(10)
+
+    def test_advance_past_end_yields_empty(self):
+        assert Interval(2, 9).advance_to(9).is_empty()
+
+
+class TestUnion:
+    def test_union_contiguous(self):
+        assert Interval(0, 4).union_contiguous(Interval(4, 9)) == Interval(0, 9)
+
+    def test_union_overlapping(self):
+        assert Interval(0, 6).union_contiguous(Interval(4, 9)) == Interval(0, 9)
+
+    def test_union_with_gap_rejected(self):
+        with pytest.raises(IntervalError):
+            Interval(0, 3).union_contiguous(Interval(5, 9))
+
+    def test_union_with_empty_is_identity(self):
+        iv = Interval(2, 7)
+        assert iv.union_contiguous(Interval(0, 0)) == iv
+        assert Interval(9, 9).union_contiguous(iv) == iv
+
+
+class TestSerialisation:
+    def test_tuple_roundtrip(self):
+        iv = Interval(12, 99)
+        assert Interval.from_tuple(iv.as_tuple()) == iv
+
+    def test_iteration(self):
+        begin, end = Interval(1, 5)
+        assert (begin, end) == (1, 5)
+
+    def test_repr(self):
+        assert repr(Interval(2, 7)) == "[2, 7)"
+
+    def test_ordering(self):
+        assert Interval(1, 5) < Interval(2, 3)
+        assert sorted([Interval(4, 5), Interval(1, 9)])[0] == Interval(1, 9)

@@ -1,0 +1,123 @@
+"""Unit tests for node numbers and ranges (paper §3.2–§3.3)."""
+
+import pytest
+
+from repro.core import Interval, TreeShape, leaf_ranks_for_number, node_number, node_range
+from repro.core.numbering import ancestor_at_depth, check_rank_path, common_depth
+from repro.exceptions import NumberingError
+
+
+class TestNodeNumber:
+    def test_root_number_is_zero(self):
+        assert node_number(TreeShape.permutation(4), ()) == 0
+
+    def test_paper_figure2_values(self):
+        # Figure 2 shows a permutation tree on 3 elements with the
+        # leaves numbered 0..5 left to right.
+        shape = TreeShape.permutation(3)
+        leaf_numbers = []
+        for r0 in range(3):
+            for r1 in range(2):
+                for r2 in range(1):
+                    leaf_numbers.append(node_number(shape, (r0, r1, r2)))
+        assert leaf_numbers == [0, 1, 2, 3, 4, 5]
+
+    def test_internal_number_equals_leftmost_leaf(self):
+        shape = TreeShape.permutation(4)
+        for r0 in range(4):
+            n_internal = node_number(shape, (r0,))
+            n_leaf = node_number(shape, (r0, 0, 0, 0))
+            assert n_internal == n_leaf
+
+    def test_leaf_numbers_form_bijection_binary(self):
+        shape = TreeShape.binary(5)
+        seen = set()
+        for number in range(shape.total_leaves):
+            ranks = leaf_ranks_for_number(shape, number)
+            assert node_number(shape, ranks) == number
+            seen.add(ranks)
+        assert len(seen) == 32
+
+    def test_leaf_numbers_form_bijection_permutation(self):
+        shape = TreeShape.permutation(5)
+        for number in range(shape.total_leaves):
+            assert node_number(shape, leaf_ranks_for_number(shape, number)) == number
+
+    def test_mixed_shape_bijection(self):
+        shape = TreeShape([3, 2, 4])
+        numbers = sorted(
+            node_number(shape, (a, b, c))
+            for a in range(3)
+            for b in range(2)
+            for c in range(4)
+        )
+        assert numbers == list(range(24))
+
+    def test_sibling_numbers_differ_by_child_weight(self):
+        # eq. 6: the rank multiplies the weight of the child level.
+        shape = TreeShape.permutation(5)
+        w1 = shape.weight(1)
+        assert node_number(shape, (3,)) - node_number(shape, (2,)) == w1
+
+
+class TestNodeRange:
+    def test_root_range_covers_all_leaves(self):
+        shape = TreeShape.permutation(4)
+        assert node_range(shape, ()) == Interval(0, 24)
+
+    def test_leaf_range_is_singleton(self):
+        shape = TreeShape.binary(3)
+        rng = node_range(shape, (1, 0, 1))
+        assert rng.length == 1
+        assert rng.begin == node_number(shape, (1, 0, 1))
+
+    def test_child_ranges_partition_parent(self):
+        shape = TreeShape.permutation(4)
+        parent = node_range(shape, (2,))
+        child_ranges = [node_range(shape, (2, r)) for r in range(3)]
+        assert child_ranges[0].begin == parent.begin
+        assert child_ranges[-1].end == parent.end
+        for left, right in zip(child_ranges, child_ranges[1:]):
+            assert left.is_adjacent_left_of(right)
+
+    def test_range_matches_eq7(self):
+        shape = TreeShape.permutation(5)
+        ranks = (1, 2)
+        number = node_number(shape, ranks)
+        assert node_range(shape, ranks) == Interval(number, number + shape.weight(2))
+
+
+class TestValidation:
+    def test_rank_too_large_rejected(self):
+        with pytest.raises(NumberingError):
+            check_rank_path(TreeShape.permutation(3), (3,))
+
+    def test_negative_rank_rejected(self):
+        with pytest.raises(NumberingError):
+            check_rank_path(TreeShape.permutation(3), (-1,))
+
+    def test_path_too_deep_rejected(self):
+        with pytest.raises(NumberingError):
+            check_rank_path(TreeShape.binary(2), (0, 0, 0))
+
+    def test_leaf_number_out_of_range_rejected(self):
+        shape = TreeShape.binary(3)
+        with pytest.raises(NumberingError):
+            leaf_ranks_for_number(shape, 8)
+        with pytest.raises(NumberingError):
+            leaf_ranks_for_number(shape, -1)
+
+
+class TestPathHelpers:
+    def test_ancestor_at_depth(self):
+        assert ancestor_at_depth((1, 2, 0), 2) == (1, 2)
+        assert ancestor_at_depth((1, 2, 0), 0) == ()
+
+    def test_ancestor_invalid_depth(self):
+        with pytest.raises(NumberingError):
+            ancestor_at_depth((1, 2), 3)
+
+    def test_common_depth(self):
+        assert common_depth((1, 2, 0), (1, 2, 3)) == 2
+        assert common_depth((0,), (1,)) == 0
+        assert common_depth((1, 1), (1, 1)) == 2

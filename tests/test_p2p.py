@@ -1,0 +1,130 @@
+"""Tests for the peer-to-peer extension (the paper's future work)."""
+
+import pytest
+
+from repro.core import Interval, solve
+from repro.exceptions import SimulationError
+from repro.grid.p2p import P2PConfig, P2PSimulation
+from repro.grid.simulator import (
+    RealBBWorkload,
+    SyntheticWorkload,
+    small_platform,
+)
+from repro.problems.flowshop import FlowShopProblem, random_instance
+
+
+def real_config(workers=4, seed=21, nodes_per_second=500, **overrides):
+    problem = FlowShopProblem(random_instance(7, 3, seed))
+    workload = RealBBWorkload(problem, nodes_per_second=nodes_per_second)
+    defaults = dict(
+        platform=small_platform(workers=workers, clusters=2),
+        workload=workload,
+        horizon=30 * 86400.0,
+        seed=5,
+        update_period=1.0,
+        steal_backoff=0.5,
+    )
+    defaults.update(overrides)
+    return P2PConfig(**defaults), problem
+
+
+def synthetic_config(peers=8, **overrides):
+    leaves = 10**8
+    workload = SyntheticWorkload(
+        leaves,
+        seed=3,
+        # fixed-size workload: calibrated for an 8-peer pool so that
+        # scaling tests vary the pool, not the work
+        mean_leaf_rate=leaves / (8 * 2.0 * 600.0),
+        irregularity=1.0,
+        segments=128,
+        nodes_per_second=1e4,
+        optimum=3679.0,
+        initial_gap=2.0,
+    )
+    defaults = dict(
+        platform=small_platform(workers=peers, clusters=2),
+        workload=workload,
+        horizon=30 * 86400.0,
+        seed=7,
+        update_period=30.0,
+        steal_backoff=5.0,
+    )
+    defaults.update(overrides)
+    return P2PConfig(**defaults)
+
+
+class TestP2PRealBB:
+    def test_finds_sequential_optimum(self):
+        config, problem = real_config()
+        expected = solve(problem).cost
+        report = P2PSimulation(config).run()
+        assert report.finished
+        assert report.best_cost == expected
+
+    def test_single_peer_degenerates_to_sequential(self):
+        config, problem = real_config(workers=1)
+        expected = solve(problem).cost
+        report = P2PSimulation(config).run()
+        assert report.finished
+        assert report.best_cost == expected
+        assert report.steals_succeeded == 0
+
+    def test_work_actually_spreads(self):
+        config, _ = real_config(workers=6, nodes_per_second=20)
+        report = P2PSimulation(config).run()
+        assert report.finished
+        assert report.steals_succeeded > 0
+
+    def test_leaf_coverage_complete(self):
+        config, problem = real_config(workers=4)
+        sim = P2PSimulation(config)
+        report = sim.run()
+        assert report.finished
+        assert sim.metrics.leaves_consumed >= problem.total_leaves()
+
+
+class TestP2PSynthetic:
+    def test_terminates_and_finds_planted_optimum(self):
+        report = P2PSimulation(synthetic_config()).run()
+        assert report.finished
+        assert report.best_cost == 3679.0
+
+    def test_deterministic_given_seed(self):
+        a = P2PSimulation(synthetic_config()).run()
+        b = P2PSimulation(synthetic_config()).run()
+        assert a.wall_clock == b.wall_clock
+        assert a.messages == b.messages
+
+    def test_no_hot_spot(self):
+        # The decentralisation claim: no peer should see a dominating
+        # share of the message traffic (the farmer sees 100 %).
+        report = P2PSimulation(synthetic_config(peers=16)).run()
+        assert report.finished
+        assert report.max_peer_message_share < 0.5
+
+    def test_more_peers_finish_faster(self):
+        few = P2PSimulation(synthetic_config(peers=4)).run()
+        many = P2PSimulation(synthetic_config(peers=16)).run()
+        assert few.finished and many.finished
+        assert many.wall_clock < few.wall_clock
+
+    def test_exploitation_reasonable(self):
+        report = P2PSimulation(synthetic_config()).run()
+        assert report.peer_exploitation > 0.5
+
+
+class TestP2PValidation:
+    def test_invalid_horizon(self):
+        config = synthetic_config()
+        config.horizon = 0.0
+        with pytest.raises(SimulationError):
+            P2PSimulation(config)
+
+    def test_safra_terminates_without_livelock(self):
+        # Even with aggressive steal traffic the token must conclude.
+        config = synthetic_config(peers=8)
+        config.steal_backoff = 0.1
+        config.max_events = 5_000_000
+        report = P2PSimulation(config).run()
+        assert report.finished

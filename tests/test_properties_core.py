@@ -1,0 +1,157 @@
+"""Property-based tests (hypothesis) for the interval-coding core.
+
+These are the paper's mathematical claims quantified over random
+shapes and intervals: numbering is a bijection, fold/unfold are
+mutually inverse, unfold output is minimal and contiguous, interval
+algebra conserves work.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ActiveList,
+    Interval,
+    TreeShape,
+    fold,
+    fold_by_union,
+    leaf_ranks_for_number,
+    node_number,
+    node_range,
+    unfold,
+    unfold_with_stats,
+)
+
+shapes = st.one_of(
+    st.integers(2, 6).map(TreeShape.permutation),
+    st.integers(1, 8).map(TreeShape.binary),
+    st.lists(st.integers(1, 4), min_size=1, max_size=6).map(TreeShape),
+)
+
+
+@st.composite
+def shape_and_interval(draw):
+    shape = draw(shapes)
+    total = shape.total_leaves
+    a = draw(st.integers(0, total))
+    b = draw(st.integers(0, total))
+    return shape, Interval(min(a, b), max(a, b))
+
+
+@st.composite
+def shape_and_leaf(draw):
+    shape = draw(shapes)
+    number = draw(st.integers(0, shape.total_leaves - 1))
+    return shape, number
+
+
+class TestNumberingProperties:
+    @given(shape_and_leaf())
+    def test_leaf_numbering_roundtrip(self, case):
+        shape, number = case
+        assert node_number(shape, leaf_ranks_for_number(shape, number)) == number
+
+    @given(shape_and_leaf())
+    def test_leaf_range_is_singleton_at_its_number(self, case):
+        shape, number = case
+        ranks = leaf_ranks_for_number(shape, number)
+        assert node_range(shape, ranks) == Interval(number, number + 1)
+
+    @given(shape_and_leaf())
+    def test_ancestors_cover_the_leaf(self, case):
+        shape, number = case
+        ranks = leaf_ranks_for_number(shape, number)
+        for depth in range(len(ranks) + 1):
+            assert number in node_range(shape, ranks[:depth])
+
+
+class TestFoldUnfoldProperties:
+    @given(shape_and_interval())
+    def test_fold_unfold_identity(self, case):
+        shape, interval = case
+        folded = fold(unfold(shape, interval))
+        if interval.is_empty():
+            assert folded.is_empty()
+        else:
+            assert folded == interval
+
+    @given(shape_and_interval())
+    def test_unfold_fold_identity_on_frontiers(self, case):
+        shape, interval = case
+        active = unfold(shape, interval)
+        assert unfold(shape, fold(active)) == active
+
+    @given(shape_and_interval())
+    def test_fold_shortcut_equals_union(self, case):
+        shape, interval = case
+        active = unfold(shape, interval)
+        assert fold(active) == fold_by_union(active) or active.is_empty()
+
+    @given(shape_and_interval())
+    def test_unfold_covers_exactly(self, case):
+        shape, interval = case
+        covered = 0
+        previous_end = None
+        for node in unfold(shape, interval):
+            covered += node.range.length
+            if previous_end is not None:
+                assert node.range.begin == previous_end  # eq. 9
+            previous_end = node.range.end
+        assert covered == interval.length
+
+    @given(shape_and_interval())
+    def test_unfold_minimality(self, case):
+        shape, interval = case
+        for node in unfold(shape, interval):
+            if node.depth > 0:
+                father = node_range(shape, node.ranks[:-1])
+                assert not interval.contains_interval(father)
+
+    @given(shape_and_interval())
+    def test_unfold_cost_bound(self, case):
+        shape, interval = case
+        _, stats = unfold_with_stats(shape, interval)
+        assert stats.decompositions <= 2 * shape.leaf_depth
+
+    @given(shape_and_interval(), st.integers(0, 10**6))
+    def test_split_then_unfold_partitions_the_frontier(self, case, point_seed):
+        shape, interval = case
+        if interval.is_empty():
+            return
+        point = interval.begin + point_seed % (interval.length + 1)
+        left, right = interval.split_at(point)
+        combined = [n.range for n in unfold(shape, left)] + [
+            n.range for n in unfold(shape, right)
+        ]
+        total = sum(r.length for r in combined)
+        assert total == interval.length
+
+
+class TestIntervalAlgebraProperties:
+    small_ints = st.integers(-50, 50)
+
+    @given(small_ints, small_ints, small_ints, small_ints)
+    def test_intersection_commutes(self, a, b, c, d):
+        x, y = Interval(a, b), Interval(c, d)
+        i1, i2 = x.intersect(y), y.intersect(x)
+        assert i1 == i2 or (i1.is_empty() and i2.is_empty())
+
+    @given(small_ints, small_ints, small_ints)
+    def test_split_conserves_length(self, a, b, point):
+        iv = Interval(min(a, b), max(a, b))
+        left, right = iv.split_at(point)
+        assert left.length + right.length == iv.length
+
+    @given(small_ints, small_ints, small_ints, small_ints)
+    def test_intersection_is_subset(self, a, b, c, d):
+        x, y = Interval(a, b), Interval(c, d)
+        merged = x.intersect(y)
+        assert x.contains_interval(merged)
+        assert y.contains_interval(merged)
+
+    @given(small_ints, small_ints, small_ints, small_ints, small_ints, small_ints)
+    def test_intersection_associates(self, a, b, c, d, e, f):
+        x, y, z = Interval(a, b), Interval(c, d), Interval(e, f)
+        one = x.intersect(y).intersect(z)
+        two = x.intersect(y.intersect(z))
+        assert one == two or (one.is_empty() and two.is_empty())

@@ -1,0 +1,95 @@
+"""Tests for the QAP substrate and its Gilmore–Lawler bound."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core import solve
+from repro.exceptions import ProblemError
+from repro.problems.qap import QAPInstance, QAPProblem, nugent_like, random_qap
+
+
+def brute_force_qap(inst):
+    return min(
+        inst.assignment_cost(p)
+        for p in itertools.permutations(range(inst.size))
+    )
+
+
+class TestInstance:
+    def test_assignment_cost_hand_computed(self):
+        flows = [[0, 2], [2, 0]]
+        dists = [[0, 3], [3, 0]]
+        inst = QAPInstance(flows, dists)
+        # both orderings cost 2*3 + 2*3 = 12 (symmetric pair counted twice)
+        assert inst.assignment_cost([0, 1]) == 12
+        assert inst.assignment_cost([1, 0]) == 12
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ProblemError):
+            QAPInstance([[0, 1], [1, 0]], [[0]])
+
+    def test_negative_flow_rejected(self):
+        with pytest.raises(ProblemError):
+            QAPInstance([[0, -1], [1, 0]], [[0, 1], [1, 0]])
+
+    def test_invalid_permutation_rejected(self):
+        inst = random_qap(4, seed=1)
+        with pytest.raises(ProblemError):
+            inst.assignment_cost([0, 0, 1, 2])
+
+    def test_random_qap_symmetric_hollow(self):
+        inst = random_qap(6, seed=2)
+        for m in (inst.flows, inst.distances):
+            assert np.array_equal(m, m.T)
+            assert not np.diagonal(m).any()
+
+    def test_nugent_like_distances_are_manhattan(self):
+        inst = nugent_like(2, 3, seed=1)
+        # locations 0=(0,0) and 5=(1,2): Manhattan distance 3
+        assert inst.distances[0, 5] == 3
+        assert inst.size == 6
+
+
+class TestProblem:
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_optimum_matches_brute_force(self, seed):
+        inst = random_qap(6, seed=seed)
+        result = solve(QAPProblem(inst))
+        assert result.cost == brute_force_qap(inst)
+
+    def test_nugent_like_optimum(self):
+        inst = nugent_like(2, 3, seed=7)
+        result = solve(QAPProblem(inst))
+        assert result.cost == brute_force_qap(inst)
+        assert inst.assignment_cost(result.solution) == result.cost
+
+    def test_gilmore_lawler_admissible_everywhere(self):
+        inst = random_qap(5, seed=3)
+        prob = QAPProblem(inst)
+        optimum = brute_force_qap(inst)
+        # Check the bound at every first- and second-level node.
+        root = prob.root_state()
+        assert prob.lower_bound(root, 0) <= optimum
+        for child in prob.branch(root, 0):
+            best_below = min(
+                inst.assignment_cost(child.assigned + rest)
+                for rest in itertools.permutations(
+                    [l for l in range(5) if l not in child.assigned]
+                )
+            )
+            assert prob.lower_bound(child, 1) <= best_below
+
+    def test_gl_bound_prunes(self):
+        inst = random_qap(6, seed=5)
+        result = solve(QAPProblem(inst))
+        import math
+
+        exhaustive_leaves = math.factorial(6)
+        assert result.stats.leaves_evaluated < exhaustive_leaves
+
+    def test_leaf_cost_matches_assignment_cost(self):
+        inst = random_qap(4, seed=8)
+        result = solve(QAPProblem(inst))
+        assert inst.assignment_cost(result.solution) == result.cost

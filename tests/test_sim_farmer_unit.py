@@ -1,0 +1,157 @@
+"""Unit tests of the simulated farmer: direct message handling."""
+
+import pytest
+
+from repro.core import Incumbent, Interval
+from repro.exceptions import SimulationError
+from repro.grid.simulator.events import SimClock
+from repro.grid.simulator.failures import FarmerFailurePlan
+from repro.grid.simulator.farmer import FarmerConfig, SimFarmer
+from repro.grid.simulator.messages import (
+    IntervalUpdate,
+    SolutionPush,
+    UpdateReply,
+    WorkReply,
+    WorkRequest,
+)
+from repro.grid.simulator.metrics import MetricsCollector
+
+
+def make_farmer(length=1000, **config_kw):
+    clock = SimClock()
+    metrics = MetricsCollector(length)
+    farmer = SimFarmer(
+        clock,
+        Interval(0, length),
+        metrics,
+        FarmerConfig(**config_kw),
+        initial_best=Incumbent(100.0, None),
+    )
+    return clock, farmer
+
+
+def rpc(clock, farmer, message):
+    """Deliver a message and drain the service event; return the reply."""
+    box = []
+    farmer.deliver(message, box.append)
+    while clock.step() and not box:
+        pass
+    return box[0] if box else None
+
+
+class TestHandlers:
+    def test_work_request_grants_interval(self):
+        clock, farmer = make_farmer()
+        reply = rpc(clock, farmer, WorkRequest("w0", 1.0))
+        assert isinstance(reply, WorkReply)
+        assert reply.interval == Interval(0, 1000)
+        assert reply.best_cost == 100.0
+
+    def test_update_reconciles_and_shares_solution(self):
+        clock, farmer = make_farmer()
+        rpc(clock, farmer, WorkRequest("w0", 1.0))
+        rpc(clock, farmer, SolutionPush("w1", 42.0, (0, 1)))
+        reply = rpc(clock, farmer, IntervalUpdate("w0", Interval(250, 1000), 250, 9))
+        assert isinstance(reply, UpdateReply)
+        assert reply.interval == Interval(250, 1000)
+        assert reply.best_cost == 42.0
+
+    def test_termination_on_empty(self):
+        clock, farmer = make_farmer()
+        rpc(clock, farmer, WorkRequest("w0", 1.0))
+        rpc(clock, farmer, IntervalUpdate("w0", Interval(1000, 1000), 1000, 1))
+        assert farmer.terminated
+        reply = rpc(clock, farmer, WorkRequest("w1", 1.0))
+        assert reply.terminate
+
+    def test_unknown_message_raises(self):
+        clock, farmer = make_farmer()
+        with pytest.raises(SimulationError):
+            rpc(clock, farmer, object())
+
+    def test_service_time_accumulates_farmer_busy(self):
+        clock, farmer = make_farmer(service_time=0.01)
+        rpc(clock, farmer, WorkRequest("w0", 1.0))
+        rpc(clock, farmer, WorkRequest("w1", 1.0))
+        assert farmer.metrics.farmer_busy == pytest.approx(0.02)
+
+    def test_queueing_serialises_service(self):
+        # Two simultaneous deliveries: replies come at t=s and t=2s.
+        clock, farmer = make_farmer(service_time=1.0)
+        times = []
+        farmer.deliver(WorkRequest("a", 1.0), lambda r: times.append(clock.now))
+        farmer.deliver(WorkRequest("b", 1.0), lambda r: times.append(clock.now))
+        # bounded horizon: the farmer's checkpoint timer reschedules
+        # itself forever, so an unbounded run() would never drain
+        clock.run(until=10.0)
+        assert times == [1.0, 2.0]
+
+
+class TestCheckpointAndFailure:
+    def test_periodic_checkpoint_counts(self):
+        clock, farmer = make_farmer(checkpoint_period=10.0)
+        clock.run(until=35.0)
+        assert farmer.checkpoints_taken == 3
+
+    def test_crash_drops_messages(self):
+        clock = SimClock()
+        metrics = MetricsCollector(1000)
+        farmer = SimFarmer(
+            clock,
+            Interval(0, 1000),
+            metrics,
+            FarmerConfig(),
+            failure_plan=FarmerFailurePlan([(10.0, 5.0)]),
+        )
+        clock.run(until=12.0)  # farmer is now down
+        box = []
+        farmer.deliver(WorkRequest("w0", 1.0), box.append)
+        clock.run(until=13.0)
+        assert box == []
+        assert farmer.messages_dropped == 1
+
+    def test_recovery_restores_snapshot(self):
+        clock = SimClock()
+        metrics = MetricsCollector(1000)
+        farmer = SimFarmer(
+            clock,
+            Interval(0, 1000),
+            metrics,
+            FarmerConfig(checkpoint_period=5.0),
+            failure_plan=FarmerFailurePlan([(12.0, 3.0)]),
+        )
+        # worker takes everything and reports progress before the crash
+        reply = rpc(clock, farmer, WorkRequest("w0", 1.0))
+        assert reply.interval == Interval(0, 1000)
+        rpc(clock, farmer, IntervalUpdate("w0", Interval(400, 1000), 400, 4))
+        clock.run(until=11.0)  # checkpoints at 5 and 10 capture [400,1000)
+        clock.run(until=16.0)  # crash at 12, recovery at 15
+        assert farmer.recoveries == 1
+        assert farmer.intervals.size == 600
+
+    def test_termination_checkpointed_eagerly(self):
+        # A crash after termination must not resurrect stale work.
+        clock = SimClock()
+        metrics = MetricsCollector(1000)
+        farmer = SimFarmer(
+            clock,
+            Interval(0, 1000),
+            metrics,
+            FarmerConfig(checkpoint_period=1000.0),  # no periodic rescue
+            failure_plan=FarmerFailurePlan([(50.0, 10.0)]),
+        )
+        rpc(clock, farmer, WorkRequest("w0", 1.0))
+        rpc(clock, farmer, IntervalUpdate("w0", Interval(1000, 1000), 1000, 1))
+        assert farmer.terminated
+        clock.run(until=70.0)  # crash + recovery
+        assert farmer.intervals.is_empty()
+
+    def test_death_timeout_releases_silent_workers(self):
+        clock, farmer = make_farmer(
+            checkpoint_period=10.0, death_timeout=15.0
+        )
+        rpc(clock, farmer, WorkRequest("w0", 1.0))
+        clock.run(until=40.0)  # several checkpoint ticks, no contact
+        # the orphaned interval goes entirely to the next requester
+        reply = rpc(clock, farmer, WorkRequest("w1", 1.0))
+        assert reply.interval == Interval(0, 1000)

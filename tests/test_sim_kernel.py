@@ -1,0 +1,139 @@
+"""Tests for the discrete-event kernel, RNG streams and network model."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.grid.simulator import LinkSpec, NetworkModel, RngRegistry, SimClock, stable_seed
+
+
+class TestSimClock:
+    def test_events_fire_in_time_order(self):
+        clock = SimClock()
+        fired = []
+        clock.schedule(5.0, fired.append, "b")
+        clock.schedule(1.0, fired.append, "a")
+        clock.schedule(9.0, fired.append, "c")
+        clock.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_break_on_insertion_order(self):
+        clock = SimClock()
+        fired = []
+        for tag in "xyz":
+            clock.schedule(1.0, fired.append, tag)
+        clock.run()
+        assert fired == ["x", "y", "z"]
+
+    def test_now_advances_to_event_time(self):
+        clock = SimClock()
+        seen = []
+        clock.schedule(3.5, lambda: seen.append(clock.now))
+        clock.run()
+        assert seen == [3.5]
+
+    def test_callbacks_can_schedule_more(self):
+        clock = SimClock()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                clock.schedule(1.0, chain, n + 1)
+
+        clock.schedule(0.0, chain, 0)
+        clock.run()
+        assert fired == [0, 1, 2, 3]
+        assert clock.now == 3.0
+
+    def test_cancelled_events_do_not_fire(self):
+        clock = SimClock()
+        fired = []
+        handle = clock.schedule(1.0, fired.append, "no")
+        clock.schedule(2.0, fired.append, "yes")
+        handle.cancel()
+        clock.run()
+        assert fired == ["yes"]
+
+    def test_run_until_stops_clock_at_horizon(self):
+        clock = SimClock()
+        fired = []
+        clock.schedule(10.0, fired.append, "late")
+        clock.run(until=5.0)
+        assert fired == []
+        assert clock.now == 5.0
+        clock.run()
+        assert fired == ["late"]
+
+    def test_stop_when_predicate(self):
+        clock = SimClock()
+        fired = []
+        for t in (1.0, 2.0, 3.0):
+            clock.schedule(t, fired.append, t)
+        clock.run(stop_when=lambda: len(fired) >= 2)
+        assert fired == [1.0, 2.0]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            SimClock().schedule(-1.0, lambda: None)
+
+    def test_max_events_guard(self):
+        clock = SimClock()
+
+        def forever():
+            clock.schedule(1.0, forever)
+
+        clock.schedule(0.0, forever)
+        with pytest.raises(SimulationError):
+            clock.run(max_events=100)
+
+    def test_pending_counts_uncancelled(self):
+        clock = SimClock()
+        h = clock.schedule(1.0, lambda: None)
+        clock.schedule(2.0, lambda: None)
+        h.cancel()
+        assert clock.pending() == 1
+
+
+class TestRng:
+    def test_streams_are_reproducible(self):
+        a = RngRegistry(42).stream("availability", "host1").random(4)
+        b = RngRegistry(42).stream("availability", "host1").random(4)
+        assert (a == b).all()
+
+    def test_streams_are_independent(self):
+        reg = RngRegistry(42)
+        a = reg.stream("a").random(4)
+        b = reg.stream("b").random(4)
+        assert not (a == b).all()
+
+    def test_same_stream_is_cached(self):
+        reg = RngRegistry(1)
+        assert reg.stream("x") is reg.stream("x")
+
+    def test_stable_seed_cross_run_stability(self):
+        # Must not depend on PYTHONHASHSEED.
+        assert stable_seed("host", 3) == stable_seed("host", 3)
+        assert stable_seed("host", 3) != stable_seed("host", 4)
+
+
+class TestNetwork:
+    def test_intra_cheaper_than_wan(self):
+        net = NetworkModel()
+        assert net.delay("a", "a", 1000) < net.delay("a", "b", 1000)
+
+    def test_campus_link_used_between_campus_clusters(self):
+        net = NetworkModel(campus_clusters=("iut", "ieea"))
+        campus = net.delay("iut", "ieea", 100)
+        wan = net.delay("iut", "sophia", 100)
+        assert campus < wan
+
+    def test_override_wins(self):
+        slow = LinkSpec(latency=1.0, bandwidth=1000.0)
+        net = NetworkModel(overrides={("a", "b"): slow})
+        assert net.delay("a", "b", 0) == pytest.approx(1.0)
+        # symmetric lookup
+        assert net.delay("b", "a", 0) == pytest.approx(1.0)
+
+    def test_size_adds_serialisation_delay(self):
+        net = NetworkModel()
+        assert net.delay("a", "b", 10**6) > net.delay("a", "b", 10)

@@ -1,0 +1,124 @@
+"""Unit tests for protocol messages (wire sizes) and the metrics collector."""
+
+import pytest
+
+from repro.core import Interval
+from repro.grid.simulator.messages import (
+    IntervalUpdate,
+    SolutionAck,
+    SolutionPush,
+    UpdateReply,
+    WorkReply,
+    WorkRequest,
+    active_list_wire_size,
+    interval_wire_size,
+    wire_size,
+)
+from repro.grid.simulator.metrics import MetricsCollector
+
+
+class TestWireSizes:
+    def test_interval_wire_size_constant(self):
+        # The headline property: two big integers no matter the span.
+        small = interval_wire_size(Interval(0, 10))
+        huge = interval_wire_size(Interval(0, 10**64))
+        assert small == huge == 64
+
+    def test_none_interval_is_free(self):
+        assert interval_wire_size(None) == 0
+
+    def test_active_list_grows_with_cardinality(self):
+        assert active_list_wire_size(10, 50) < active_list_wire_size(100, 50)
+        assert active_list_wire_size(10, 5) < active_list_wire_size(10, 50)
+
+    def test_interval_beats_active_list_for_real_frontiers(self):
+        # a Ta056 frontier has ~P*branching/2 nodes
+        assert interval_wire_size(Interval(0, 1)) < active_list_wire_size(2, 50)
+
+    def test_all_messages_have_sizes(self):
+        iv = Interval(3, 9)
+        messages = [
+            WorkRequest("w", 1.0),
+            WorkReply(iv, 10.0),
+            WorkReply(None, 10.0, terminate=True),
+            IntervalUpdate("w", iv, 5, 7),
+            UpdateReply(iv, 10.0),
+            SolutionPush("w", 9.0, (1, 2, 3)),
+            SolutionAck(9.0),
+        ]
+        for msg in messages:
+            assert wire_size(msg) > 0
+
+    def test_terminate_reply_smaller_than_grant(self):
+        grant = WorkReply(Interval(0, 10), 1.0)
+        term = WorkReply(None, 1.0, terminate=True)
+        assert term.wire_size() < grant.wire_size()
+
+    def test_solution_push_scales_with_solution(self):
+        short = SolutionPush("w", 1.0, (1,))
+        long = SolutionPush("w", 1.0, tuple(range(50)))
+        assert long.wire_size() > short.wire_size()
+
+
+class TestMetricsCollector:
+    def test_join_leave_series(self):
+        m = MetricsCollector(total_leaves=100)
+        m.worker_joined(1.0)
+        m.worker_joined(2.0)
+        m.worker_left(3.0)
+        assert m.series == [(0.0, 0), (1.0, 1), (2.0, 2), (3.0, 1)]
+
+    def test_average_and_peak(self):
+        m = MetricsCollector(100)
+        m.worker_joined(0.0)   # 1 worker from 0
+        m.worker_joined(5.0)   # 2 workers from 5
+        avg, peak = m.average_and_peak_workers(horizon=10.0)
+        assert avg == pytest.approx(1.5)
+        assert peak == 2
+
+    def test_exploitation_ratios(self):
+        m = MetricsCollector(100)
+        m.add_busy("w0", 97.0)
+        m.add_available("w0", 100.0)
+        m.add_farmer_busy(1.7)
+        t2 = m.table2(wall_clock=100.0, best_cost=3679.0, optimum_proved=True)
+        assert t2.worker_exploitation == pytest.approx(0.97)
+        assert t2.coordinator_exploitation == pytest.approx(0.017)
+
+    def test_redundancy_from_overlap(self):
+        m = MetricsCollector(total_leaves=1000)
+        m.add_exploration(nodes=10, consumed=1100)
+        t2 = m.table2(10.0, 1.0, True)
+        assert t2.redundant_node_rate == pytest.approx(100 / 1100)
+
+    def test_no_redundancy_when_under_covered(self):
+        m = MetricsCollector(total_leaves=1000)
+        m.add_exploration(nodes=10, consumed=400)
+        assert m.table2(10.0, 1.0, False).redundant_node_rate == 0.0
+
+    def test_zero_division_guards(self):
+        m = MetricsCollector(10)
+        t2 = m.table2(wall_clock=0.0, best_cost=float("inf"), optimum_proved=False)
+        assert t2.worker_exploitation == 0.0
+        assert t2.coordinator_exploitation == 0.0
+        assert t2.redundant_node_rate == 0.0
+
+    def test_availability_series_resampled(self):
+        m = MetricsCollector(10)
+        m.worker_joined(1.0)
+        m.worker_joined(2.0)
+        samples = m.availability_series(sample_period=1.0, horizon=3.0)
+        assert samples == [(0.0, 0), (1.0, 1), (2.0, 2), (3.0, 2)]
+
+    def test_message_accounting(self):
+        m = MetricsCollector(10)
+        m.message_sent(100)
+        m.message_sent(50)
+        assert m.messages == 2
+        assert m.message_bytes == 150
+
+    def test_solution_trajectory(self):
+        m = MetricsCollector(10)
+        m.solution_improved(1.0, 700.0)
+        m.solution_improved(2.0, 650.0)
+        assert m.improvements == [(1.0, 700.0), (2.0, 650.0)]

@@ -1,0 +1,167 @@
+"""Tests for platform specs, availability traces and failure plans."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.grid.simulator import (
+    AvailabilityModel,
+    ClusterSpec,
+    FarmerFailurePlan,
+    HostSpec,
+    PlatformSpec,
+    paper_platform,
+    small_platform,
+)
+
+
+class TestPaperPlatform:
+    def test_total_is_1889_processors(self):
+        # Table 1's bottom line.
+        assert paper_platform().total_processors == 1889
+
+    def test_nine_clusters(self):
+        assert len(paper_platform().clusters) == 9
+
+    def test_campus_vs_grid5000_split(self):
+        platform = paper_platform()
+        campus = sum(
+            c.processors for c in platform.clusters if c.domain == "Lille1"
+        )
+        grid5000 = sum(
+            c.processors for c in platform.clusters if c.domain == "Grid5000"
+        )
+        assert campus == 469
+        assert grid5000 == 1420  # bi-processor machines, 710 x 2
+
+    def test_grid5000_hosts_are_dedicated(self):
+        platform = paper_platform()
+        for host in platform.all_hosts():
+            cluster = next(
+                c for c in platform.clusters if c.name == host.cluster
+            )
+            assert host.dedicated == (cluster.domain == "Grid5000")
+
+    def test_largest_clusters(self):
+        # Rennes aggregates three rows (64+64+100 bi-proc machines);
+        # Orsay is the largest single row (2 x 216).
+        platform = paper_platform()
+        by_name = {c.name: c.processors for c in platform.clusters}
+        assert by_name["Rennes"] == 456
+        assert by_name["Orsay"] == 432
+        largest = max(platform.clusters, key=lambda c: c.processors)
+        assert largest.name == "Rennes"
+
+    def test_host_ids_unique(self):
+        hosts = paper_platform().all_hosts()
+        assert len({h.host_id for h in hosts}) == len(hosts)
+
+    def test_farmer_on_campus(self):
+        assert paper_platform().farmer_cluster == "IEEA-FIL"
+
+    def test_speed_range_matches_table(self):
+        speeds = {h.speed_ghz for h in paper_platform().all_hosts()}
+        assert min(speeds) == 0.80  # Celeron 0.80
+        assert max(speeds) == 3.20  # P4 3.20
+
+
+class TestSmallPlatform:
+    def test_worker_count(self):
+        assert small_platform(workers=7, clusters=3).total_processors == 7
+
+    def test_invalid_args(self):
+        with pytest.raises(SimulationError):
+            small_platform(workers=0)
+
+    def test_duplicate_cluster_names_rejected(self):
+        c = ClusterSpec("x", "d", [HostSpec("x/0", "x", 1.0, True)])
+        with pytest.raises(SimulationError):
+            PlatformSpec(clusters=[c, c])
+
+    def test_unknown_farmer_cluster_rejected(self):
+        c = ClusterSpec("x", "d", [HostSpec("x/0", "x", 1.0, True)])
+        with pytest.raises(SimulationError):
+            PlatformSpec(clusters=[c], farmer_cluster="nope")
+
+
+class TestAvailability:
+    def _host(self, dedicated):
+        return HostSpec("h/0", "h", 2.0, dedicated)
+
+    def test_trace_periods_sorted_and_disjoint(self):
+        model = AvailabilityModel()
+        trace = model.trace(
+            self._host(False), 86400.0, np.random.default_rng(1)
+        )
+        for (a0, b0), (a1, b1) in zip(trace.periods, trace.periods[1:]):
+            assert a0 <= b0 <= a1 <= b1
+
+    def test_trace_within_horizon(self):
+        model = AvailabilityModel()
+        trace = model.trace(
+            self._host(False), 3600.0, np.random.default_rng(2)
+        )
+        assert all(0 <= a and b <= 3600.0 for a, b in trace.periods)
+
+    def test_dedicated_hosts_more_available(self):
+        model = AvailabilityModel()
+        horizon = 30 * 86400.0
+        up_dedicated = sum(
+            model.trace(
+                self._host(True), horizon, np.random.default_rng(seed)
+            ).total_up(horizon)
+            for seed in range(10)
+        )
+        up_stolen = sum(
+            model.trace(
+                self._host(False), horizon, np.random.default_rng(seed)
+            ).total_up(horizon)
+            for seed in range(10)
+        )
+        assert up_dedicated > up_stolen
+
+    def test_available_at(self):
+        from repro.grid.simulator import AvailabilityTrace
+
+        trace = AvailabilityTrace("h", [(0.0, 10.0), (20.0, 30.0)])
+        assert trace.available_at(5.0)
+        assert not trace.available_at(15.0)
+        assert not trace.available_at(30.0)  # half-open
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(SimulationError):
+            AvailabilityModel(mean_up=0)
+        with pytest.raises(SimulationError):
+            AvailabilityModel(diurnal_amplitude=1.0)
+
+    def test_reproducible_given_same_stream(self):
+        model = AvailabilityModel()
+        t1 = model.trace(self._host(False), 86400.0, np.random.default_rng(9))
+        t2 = model.trace(self._host(False), 86400.0, np.random.default_rng(9))
+        assert t1.periods == t2.periods
+
+
+class TestFailurePlan:
+    def test_is_down(self):
+        plan = FarmerFailurePlan([(10.0, 5.0)])
+        assert not plan.is_down(9.0)
+        assert plan.is_down(12.0)
+        assert not plan.is_down(15.0)
+
+    def test_overlapping_outages_rejected(self):
+        with pytest.raises(SimulationError):
+            FarmerFailurePlan([(10.0, 5.0), (12.0, 1.0)])
+
+    def test_negative_downtime_rejected(self):
+        with pytest.raises(SimulationError):
+            FarmerFailurePlan([(10.0, -1.0)])
+
+    def test_poisson_plan_within_horizon(self):
+        plan = FarmerFailurePlan.poisson(
+            horizon=1000.0,
+            mean_interval=100.0,
+            mean_downtime=10.0,
+            rng=np.random.default_rng(3),
+        )
+        assert all(crash < 1000.0 for crash, _ in plan.outages)
+        assert plan.outages  # with these means some outage happens

@@ -1,0 +1,170 @@
+"""Tests for the simulator workload models (real B&B and synthetic)."""
+
+import math
+
+import pytest
+
+from repro.core import Interval, solve
+from repro.exceptions import SimulationError
+from repro.grid.simulator import RealBBWorkload, SyntheticWorkload
+from repro.problems.flowshop import FlowShopProblem, random_instance
+
+
+@pytest.fixture(scope="module")
+def small_problem():
+    return FlowShopProblem(random_instance(6, 3, seed=77))
+
+
+class TestRealBBWorkload:
+    def test_unit_explores_to_completion(self, small_problem):
+        wl = RealBBWorkload(small_problem, nodes_per_second=1000)
+        unit = wl.create_unit(Interval(0, wl.total_leaves()), float("inf"))
+        total_nodes = 0
+        while not unit.is_finished():
+            report = unit.advance(1.0, power=1.0)
+            total_nodes += report.nodes
+        assert total_nodes > 0
+        assert unit.remaining_interval().is_empty()
+
+    def test_finds_optimum_and_reports_improvements(self, small_problem):
+        expected = solve(small_problem).cost
+        wl = RealBBWorkload(small_problem, nodes_per_second=1000)
+        unit = wl.create_unit(Interval(0, wl.total_leaves()), float("inf"))
+        best = float("inf")
+        while not unit.is_finished():
+            for cost, _ in unit.advance(10.0, 1.0).improvements:
+                best = min(best, cost)
+        assert best == expected
+
+    def test_consumed_sums_to_interval_length(self, small_problem):
+        wl = RealBBWorkload(small_problem, nodes_per_second=1000)
+        iv = Interval(100, 600)
+        unit = wl.create_unit(iv, float("inf"))
+        consumed = 0
+        while not unit.is_finished():
+            consumed += unit.advance(0.05, 1.0).consumed
+        assert consumed == iv.length
+
+    def test_elapsed_capped_by_budget(self, small_problem):
+        wl = RealBBWorkload(small_problem, nodes_per_second=100)
+        unit = wl.create_unit(Interval(0, wl.total_leaves()), float("inf"))
+        report = unit.advance(0.5, power=1.0)
+        assert report.elapsed <= 0.5 + 1e-9
+
+    def test_power_scales_throughput(self, small_problem):
+        # Pruning lets both finish the whole interval here; the faster
+        # host must simply take proportionally less CPU time for the
+        # same nodes.
+        wl = RealBBWorkload(small_problem, nodes_per_second=100)
+        slow = wl.create_unit(Interval(0, 720), float("inf")).advance(10.0, 1.0)
+        fast = wl.create_unit(Interval(0, 720), float("inf")).advance(10.0, 3.0)
+        assert fast.nodes == slow.nodes
+        assert fast.elapsed == pytest.approx(slow.elapsed / 3.0)
+
+    def test_apply_interval_steals_tail(self, small_problem):
+        wl = RealBBWorkload(small_problem, nodes_per_second=1000)
+        unit = wl.create_unit(Interval(0, 720), float("inf"))
+        unit.advance(0.01, 1.0)
+        remaining = unit.remaining_interval()
+        cut = remaining.begin + max(1, remaining.length // 2)
+        unit.apply_interval(Interval(0, cut))
+        assert unit.remaining_interval().end == cut
+
+    def test_invalid_rate_rejected(self, small_problem):
+        with pytest.raises(SimulationError):
+            RealBBWorkload(small_problem, nodes_per_second=0)
+
+
+class TestSyntheticWorkload:
+    def make(self, **kw):
+        defaults = dict(
+            leaves=10**9,
+            seed=5,
+            mean_leaf_rate=1e7,
+            irregularity=1.0,
+            segments=64,
+            nodes_per_second=1e4,
+            optimum=100.0,
+            initial_gap=5.0,
+            improvement_count=6,
+        )
+        defaults.update(kw)
+        return SyntheticWorkload(**defaults)
+
+    def test_unit_finishes_interval(self):
+        wl = self.make()
+        unit = wl.create_unit(Interval(0, wl.total_leaves()), 105.0)
+        while not unit.is_finished():
+            unit.advance(10.0, power=1.0)
+        assert unit.remaining_interval().is_empty()
+
+    def test_full_sweep_discovers_the_optimum(self):
+        wl = self.make()
+        unit = wl.create_unit(Interval(0, wl.total_leaves()), 105.0)
+        best = 105.0
+        while not unit.is_finished():
+            for cost, _ in unit.advance(10.0, 1.0).improvements:
+                best = min(best, cost)
+        assert best == 100.0
+
+    def test_improvements_deterministic_across_units(self):
+        # Two units over the same numbers see the same improvements —
+        # the property that makes duplicated intervals redundant, not
+        # divergent.
+        wl = self.make()
+        iv = Interval(0, wl.total_leaves())
+
+        def sweep():
+            unit = wl.create_unit(iv, 105.0)
+            found = []
+            while not unit.is_finished():
+                found.extend(c for c, _ in unit.advance(7.0, 1.0).improvements)
+            return found
+
+        assert sweep() == sweep()
+
+    def test_consumed_conserved_under_split(self):
+        wl = self.make()
+        total = wl.total_leaves()
+        mid = total // 3
+        consumed = 0
+        for iv in (Interval(0, mid), Interval(mid, total)):
+            unit = wl.create_unit(iv, 105.0)
+            while not unit.is_finished():
+                consumed += unit.advance(10.0, 1.0).consumed
+        assert consumed == total
+
+    def test_rate_field_is_irregular_but_mean_preserved(self):
+        wl = self.make(irregularity=1.5)
+        rates = [wl.rate_at(i * (wl.total_leaves() // 64)) for i in range(64)]
+        assert max(rates) / min(rates) > 3  # genuinely irregular
+        assert sum(rates) / len(rates) == pytest.approx(1e7, rel=0.05)
+
+    def test_huge_leaf_counts_supported(self):
+        # Ta056 scale: 50! leaves.
+        wl = self.make(leaves=math.factorial(50), mean_leaf_rate=1e55)
+        unit = wl.create_unit(Interval(0, wl.total_leaves()), 105.0)
+        report = unit.advance(3600.0, power=2.0)
+        assert report.consumed > 0
+        assert unit.remaining_interval().begin == report.consumed
+
+    def test_nodes_proportional_to_elapsed(self):
+        wl = self.make()
+        unit = wl.create_unit(Interval(0, wl.total_leaves()), 105.0)
+        report = unit.advance(2.0, power=1.0)
+        assert report.nodes == pytest.approx(
+            report.elapsed * 1e4, rel=0.01, abs=2
+        )
+
+    def test_set_upper_bound_filters_improvements(self):
+        wl = self.make()
+        unit = wl.create_unit(Interval(0, wl.total_leaves()), 105.0)
+        unit.set_upper_bound(100.0)  # already optimal: nothing can improve
+        while not unit.is_finished():
+            assert unit.advance(10.0, 1.0).improvements == []
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SimulationError):
+            self.make(leaves=0)
+        with pytest.raises(SimulationError):
+            self.make(segments=0)

@@ -1,0 +1,137 @@
+"""Unit tests for tree shapes and per-depth weights (paper §3.1)."""
+
+import math
+
+import pytest
+
+from repro.core import TreeShape
+from repro.exceptions import TreeShapeError
+
+
+class TestConstruction:
+    def test_permutation_branching(self):
+        shape = TreeShape.permutation(5)
+        assert shape.branching == (5, 4, 3, 2, 1)
+
+    def test_permutation_satisfies_eq4(self):
+        # |sons(n)| = |sons(father(n))| - 1 for every non-root node
+        shape = TreeShape.permutation(6)
+        for depth in range(1, shape.leaf_depth):
+            assert shape.num_children(depth) == shape.num_children(depth - 1) - 1
+
+    def test_binary_branching(self):
+        assert TreeShape.binary(4).branching == (2, 2, 2, 2)
+
+    def test_uniform_branching(self):
+        assert TreeShape.uniform(3, 2).branching == (3, 3)
+
+    def test_custom_branching(self):
+        shape = TreeShape([3, 1, 2])
+        assert shape.total_leaves == 6
+
+    def test_empty_shape_rejected(self):
+        with pytest.raises(TreeShapeError):
+            TreeShape([])
+
+    def test_nonpositive_branching_rejected(self):
+        with pytest.raises(TreeShapeError):
+            TreeShape([2, 0, 2])
+
+    def test_zero_size_permutation_rejected(self):
+        with pytest.raises(TreeShapeError):
+            TreeShape.permutation(0)
+
+    def test_invalid_binary_depth_rejected(self):
+        with pytest.raises(TreeShapeError):
+            TreeShape.binary(0)
+
+
+class TestWeights:
+    def test_permutation_weights_are_factorials(self):
+        # eq. 3: weight(n) = (P - depth(n))!
+        shape = TreeShape.permutation(6)
+        for depth in shape.iter_depths():
+            assert shape.weight(depth) == math.factorial(6 - depth)
+
+    def test_binary_weights_are_powers_of_two(self):
+        # eq. 2: weight(n) = 2 ** (P - depth(n))
+        shape = TreeShape.binary(7)
+        for depth in shape.iter_depths():
+            assert shape.weight(depth) == 2 ** (7 - depth)
+
+    def test_leaf_weight_is_one(self):
+        # eq. 1 base case
+        for shape in (TreeShape.permutation(4), TreeShape.binary(3)):
+            assert shape.weight(shape.leaf_depth) == 1
+
+    def test_weight_vector_matches_recursive_definition(self):
+        # eq. 1: weight(internal) = sum of children weights
+        shape = TreeShape([3, 2, 4])
+        for depth in range(shape.leaf_depth):
+            children_total = shape.branching[depth] * shape.weight(depth + 1)
+            assert shape.weight(depth) == children_total
+
+    def test_root_weight_is_total_leaves(self):
+        shape = TreeShape.permutation(5)
+        assert shape.weight(0) == shape.total_leaves == 120
+
+    def test_huge_permutation_weight_exact(self):
+        # Ta056's tree: 50! must be exact integer arithmetic.
+        shape = TreeShape.permutation(50)
+        assert shape.total_leaves == math.factorial(50)
+
+    def test_weight_out_of_range_raises(self):
+        shape = TreeShape.binary(3)
+        with pytest.raises(TreeShapeError):
+            shape.weight(4)
+        with pytest.raises(TreeShapeError):
+            shape.weight(-1)
+
+
+class TestGeometry:
+    def test_leaf_depth(self):
+        assert TreeShape.permutation(4).leaf_depth == 4
+
+    def test_num_children_at_leaf_is_zero(self):
+        shape = TreeShape.binary(3)
+        assert shape.num_children(3) == 0
+
+    def test_node_count_binary(self):
+        # 1 + 2 + 4 + 8 = 15 nodes in a depth-3 binary tree
+        assert TreeShape.binary(3).node_count() == 15
+
+    def test_node_count_permutation(self):
+        # 1 + 3 + 6 + 6 + 6 nodes for permutation(3)... verify by formula
+        shape = TreeShape.permutation(3)
+        # depths: 1 root, 3, 6, 6 (last branching=1)
+        assert shape.node_count() == 1 + 3 + 6 + 6
+
+    def test_nodes_at_depth(self):
+        shape = TreeShape.permutation(4)
+        assert [shape.nodes_at_depth(d) for d in shape.iter_depths()] == [
+            1,
+            4,
+            12,
+            24,
+            24,
+        ]
+
+    def test_is_leaf_depth(self):
+        shape = TreeShape.uniform(3, 2)
+        assert not shape.is_leaf_depth(1)
+        assert shape.is_leaf_depth(2)
+
+
+class TestEqualityAndRepr:
+    def test_equality_by_branching(self):
+        assert TreeShape([2, 2]) == TreeShape.binary(2)
+        assert TreeShape([2, 3]) != TreeShape([3, 2])
+
+    def test_hashable(self):
+        assert len({TreeShape.binary(2), TreeShape([2, 2])}) == 1
+
+    def test_repr_roundtrip_families(self):
+        assert repr(TreeShape.permutation(5)) == "TreeShape.permutation(5)"
+        assert repr(TreeShape.binary(3)) == "TreeShape.binary(3)"
+        assert repr(TreeShape.uniform(3, 2)) == "TreeShape.uniform(3, 2)"
+        assert "TreeShape([3, 1, 2])" == repr(TreeShape([3, 1, 2]))

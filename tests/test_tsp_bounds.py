@@ -1,0 +1,86 @@
+"""Tests for the TSP lower bounds (outgoing-edge and Held–Karp 1-tree)."""
+
+import itertools
+
+import pytest
+
+from repro.exceptions import ProblemError
+from repro.problems.tsp import TSPInstance, random_tsp
+from repro.problems.tsp.bounds import (
+    best_one_tree_bound,
+    one_tree_bound,
+    outgoing_edge_bound,
+)
+
+
+def brute_force_tour(inst):
+    return min(
+        inst.tour_length([0] + list(p))
+        for p in itertools.permutations(range(1, inst.cities))
+    )
+
+
+class TestOneTree:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_admissible(self, seed):
+        inst = random_tsp(7, seed=seed)
+        assert one_tree_bound(inst) <= brute_force_tour(inst)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_admissible_for_every_special_node(self, seed):
+        inst = random_tsp(6, seed=seed)
+        optimum = brute_force_tour(inst)
+        for special in range(6):
+            assert one_tree_bound(inst, special) <= optimum
+
+    def test_exact_on_a_cycle_graph(self):
+        # When the graph *is* a cycle (off-cycle edges expensive), the
+        # minimum 1-tree is the tour itself.
+        n = 6
+        big = 1000
+        d = [[0 if i == j else big for j in range(n)] for i in range(n)]
+        for i in range(n):
+            d[i][(i + 1) % n] = 10
+            d[(i + 1) % n][i] = 10
+        inst = TSPInstance(d)
+        assert one_tree_bound(inst) == 60
+        assert brute_force_tour(inst) == 60
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_dominates_outgoing_edge_bound_at_root(self, seed):
+        inst = random_tsp(8, seed=seed)
+        oe = outgoing_edge_bound(inst, [0], 0, range(1, 8))
+        ot = one_tree_bound(inst)
+        assert ot >= oe
+
+    def test_best_over_specials_at_least_single(self):
+        inst = random_tsp(7, seed=11)
+        assert best_one_tree_bound(inst) >= one_tree_bound(inst, 0)
+        assert best_one_tree_bound(inst) <= brute_force_tour(inst)
+
+    def test_invalid_special_rejected(self):
+        with pytest.raises(ProblemError):
+            one_tree_bound(random_tsp(5, seed=1), special=5)
+
+
+class TestOutgoingEdge:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_admissible_at_partial_paths(self, seed):
+        inst = random_tsp(6, seed=seed)
+        d = inst.distances
+        for prefix in itertools.permutations(range(1, 6), 2):
+            path = [0] + list(prefix)
+            cost = int(d[0, path[1]]) + int(d[path[1], path[2]])
+            remaining = [v for v in range(1, 6) if v not in prefix]
+            best_completion = min(
+                inst.tour_length(path + list(rest))
+                for rest in itertools.permutations(remaining)
+            )
+            assert outgoing_edge_bound(inst, path, cost, remaining) <= best_completion
+
+    def test_complete_path_bound_is_tour_length(self):
+        inst = random_tsp(5, seed=3)
+        tour = [0, 2, 4, 1, 3]
+        d = inst.distances
+        cost = sum(int(d[a, b]) for a, b in zip(tour, tour[1:]))
+        assert outgoing_edge_bound(inst, tour, cost, []) == inst.tour_length(tour)

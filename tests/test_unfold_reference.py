@@ -1,0 +1,64 @@
+"""Cross-check unfold against a brute-force reference implementation.
+
+The reference enumerates *every* node of a small tree and applies
+eq. 11 literally: a node is in ``nodes([A, B))`` iff its range is
+inside the interval and its father's is not.  The production unfold
+(arithmetic descent) must return exactly that set, in order.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core import Interval, TreeShape, node_range, unfold
+
+
+def all_nodes(shape):
+    """Every rank path of the tree, any order."""
+    def walk(prefix):
+        yield prefix
+        depth = len(prefix)
+        if depth < shape.leaf_depth:
+            for rank in range(shape.branching[depth]):
+                yield from walk(prefix + (rank,))
+    yield from walk(())
+
+
+def reference_unfold(shape, interval):
+    """Literal eq. 11 over an exhaustive node enumeration."""
+    chosen = []
+    for ranks in all_nodes(shape):
+        rng = node_range(shape, ranks)
+        if rng.is_empty() or not interval.contains_interval(rng):
+            continue
+        if len(ranks) == 0:
+            chosen.append(ranks)
+            continue
+        father = node_range(shape, ranks[:-1])
+        if not interval.contains_interval(father):
+            chosen.append(ranks)
+    chosen.sort(key=lambda r: node_range(shape, r).begin)
+    return chosen
+
+
+SHAPES = [
+    TreeShape.permutation(4),
+    TreeShape.binary(4),
+    TreeShape.uniform(3, 3),
+    TreeShape([3, 1, 2, 2]),
+]
+
+
+@pytest.mark.parametrize("shape", SHAPES, ids=repr)
+def test_unfold_matches_reference_exhaustively(shape):
+    total = shape.total_leaves
+    for begin, end in itertools.combinations(range(total + 1), 2):
+        interval = Interval(begin, end)
+        fast = unfold(shape, interval).rank_paths()
+        assert fast == reference_unfold(shape, interval), interval
+
+
+@pytest.mark.parametrize("shape", SHAPES, ids=repr)
+def test_unfold_empty_intervals(shape):
+    assert unfold(shape, Interval(3, 3)).is_empty()
+    assert unfold(shape, Interval(5, 2)).is_empty()
