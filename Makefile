@@ -2,13 +2,18 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-show report examples clean
+.PHONY: install test chaos bench bench-show report examples clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Seeded fault schedules against the real multiprocessing runtime:
+# coordinator crash/recover, lossy channels, worker crashes and hangs.
+chaos:
+	$(PYTHON) -m pytest tests/test_chaos_runtime.py -q -s
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Chaos engineering against the farmer–worker runtime (§4.1).
+
+Runs seeded fault schedules — coordinator crash-and-recover, lossy
+message channels, worker crashes and hangs — over a small flow-shop
+instance and shows that every run still terminates with the serial
+engine's proved optimum, paying only redundant exploration.
+
+Run:  python examples/chaos_run.py
+"""
+
+from repro.core import solve
+from repro.grid.runtime import (
+    CoordinatorCrash,
+    FaultPlan,
+    RuntimeConfig,
+    WorkerHang,
+    flowshop_spec,
+    solve_parallel,
+)
+from repro.problems.flowshop import FlowShopProblem, random_instance
+
+SEEDS = range(6)
+
+
+def chaos_config(plan: FaultPlan) -> RuntimeConfig:
+    return RuntimeConfig(
+        workers=3,
+        update_nodes=200,
+        checkpoint_period=0.0,
+        deadline=90,
+        reply_timeout=0.4,
+        max_retries=6,
+        lease_seconds=0.6,
+        fault_plan=plan,
+    )
+
+
+def describe(plan: FaultPlan) -> str:
+    parts = []
+    if plan.coordinator_crashes:
+        c = plan.coordinator_crashes[0]
+        parts.append(f"farmer†@{c.after_messages}msg/{c.downtime:.2f}s")
+    if plan.worker_crashes:
+        parts.append(f"crash{sorted(plan.worker_crashes)}")
+    if plan.worker_hangs:
+        parts.append(f"hang{sorted(plan.worker_hangs)}")
+    if plan.channel:
+        ch = plan.channel
+        parts.append(
+            f"lossy(d={ch.drop:.2f},2x={ch.duplicate:.2f},~={ch.delay:.2f})"
+        )
+    return " ".join(parts)
+
+
+def main() -> None:
+    instance = random_instance(jobs=8, machines=4, seed=33)
+    reference = solve(FlowShopProblem(instance))
+    print(f"instance {instance.name}: serial optimum {reference.cost}\n")
+    spec = flowshop_spec(instance)
+
+    print("=== randomized seeded schedules (FaultPlan.chaos) ===")
+    for seed in SEEDS:
+        plan = FaultPlan.chaos(seed, workers=3)
+        result = solve_parallel(spec, chaos_config(plan))
+        assert result.optimal and result.cost == reference.cost
+        print(
+            f"seed {seed}: optimum {result.cost} proved in "
+            f"{result.wall_seconds:4.1f}s  "
+            f"redundant {result.redundant_rate:6.2%}  "
+            f"restarts {result.coordinator_restarts}  "
+            f"dups ignored {result.duplicates_ignored:2d}  "
+            f"faults {result.faults_injected}"
+        )
+        print(f"        {describe(plan)}")
+
+    print("\n=== deterministic kitchen sink ===")
+    plan = FaultPlan(
+        coordinator_crashes=[CoordinatorCrash(after_messages=12, downtime=0.3)],
+        worker_crashes={1: 2},
+        worker_hangs={2: WorkerHang(after_updates=1, seconds=1.0)},
+        seed=99,
+    )
+    result = solve_parallel(spec, chaos_config(plan))
+    assert result.optimal and result.cost == reference.cost
+    print(
+        f"farmer crashed and recovered {result.coordinator_restarts}x, "
+        f"workers lost {result.crashed_workers}, "
+        f"leases expired {result.leases_expired}"
+    )
+    print(
+        f"optimum {result.cost} still proved — the interval-set union "
+        f"invariant turned every fault into "
+        f"{result.redundant_rate:.1%} redundant exploration, never loss."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -62,12 +62,20 @@ class CheckpointStore:
     """Reads/writes the coordinator's two checkpoint files.
 
     ``directory`` holds ``intervals.json`` and ``solution.json``.
+
+    Paired saves through :meth:`save` stamp both files with a shared,
+    monotonically increasing *generation* counter; :meth:`load`
+    refuses a pair whose generations disagree (a crash landed between
+    the two writes) or where only one file exists, raising
+    :class:`~repro.exceptions.CheckpointError` instead of silently
+    recovering half a snapshot.
     """
 
     directory: Path
 
     def __post_init__(self) -> None:
         self.directory = Path(self.directory)
+        self._generation: Optional[int] = None
 
     @property
     def intervals_path(self) -> Path:
@@ -80,9 +88,12 @@ class CheckpointStore:
     # ------------------------------------------------------------------
     # INTERVALS
     # ------------------------------------------------------------------
-    def save_intervals(self, intervals: IntervalSet) -> None:
+    def save_intervals(
+        self, intervals: IntervalSet, generation: Optional[int] = None
+    ) -> None:
         payload = {
             "version": _FORMAT_VERSION,
+            "generation": generation,
             "intervals": [
                 [str(b), str(e)] for b, e in intervals.to_payload()
             ],
@@ -111,9 +122,12 @@ class CheckpointStore:
     # ------------------------------------------------------------------
     # SOLUTION
     # ------------------------------------------------------------------
-    def save_solution(self, incumbent: Incumbent) -> None:
+    def save_solution(
+        self, incumbent: Incumbent, generation: Optional[int] = None
+    ) -> None:
         payload = {
             "version": _FORMAT_VERSION,
+            "generation": generation,
             "cost": None if incumbent.cost == float("inf") else incumbent.cost,
             "solution": _jsonable_solution(incumbent.solution),
         }
@@ -139,16 +153,65 @@ class CheckpointStore:
     # combined convenience
     # ------------------------------------------------------------------
     def save(self, intervals: IntervalSet, incumbent: Incumbent) -> None:
-        self.save_intervals(intervals)
-        self.save_solution(incumbent)
+        generation = self._next_generation()
+        self.save_intervals(intervals, generation=generation)
+        self.save_solution(incumbent, generation=generation)
 
     def load(
         self, duplication_threshold: int = 0
     ) -> Tuple[Optional[IntervalSet], Optional[Incumbent]]:
-        return (
-            self.load_intervals(duplication_threshold),
-            self.load_solution(),
-        )
+        """Restore the pair; ``(None, None)`` for a fresh directory.
+
+        Raises :class:`CheckpointError` when the snapshot is partial —
+        exactly one of the two files exists, or both carry generation
+        stamps that disagree.  Recovering such a pair would silently
+        mix an old SOLUTION with a new INTERVALS (or vice versa).
+        """
+        intervals = self.load_intervals(duplication_threshold)
+        solution_exists = self.solution_path.exists()
+        if intervals is None and solution_exists:
+            raise CheckpointError(
+                f"partial checkpoint: {self.solution_path} exists but "
+                f"{self.intervals_path} is missing"
+            )
+        if intervals is not None and not solution_exists:
+            raise CheckpointError(
+                f"partial checkpoint: {self.intervals_path} exists but "
+                f"{self.solution_path} is missing"
+            )
+        incumbent = self.load_solution()
+        gen_i = self._read_generation(self.intervals_path)
+        gen_s = self._read_generation(self.solution_path)
+        if gen_i is not None and gen_s is not None and gen_i != gen_s:
+            raise CheckpointError(
+                f"checkpoint generation mismatch: INTERVALS at {gen_i}, "
+                f"SOLUTION at {gen_s} — the pair was partially written"
+            )
+        return intervals, incumbent
+
+    def _next_generation(self) -> int:
+        if self._generation is None:
+            on_disk = [
+                self._read_generation(p)
+                for p in (self.intervals_path, self.solution_path)
+            ]
+            self._generation = max(
+                (g for g in on_disk if g is not None), default=0
+            )
+        self._generation += 1
+        return self._generation
+
+    @staticmethod
+    def _read_generation(path: Path) -> Optional[int]:
+        try:
+            payload = _read_json(path)
+        except (FileNotFoundError, CheckpointError):
+            return None
+        if isinstance(payload, dict) and isinstance(
+            payload.get("generation"), int
+        ):
+            return payload["generation"]
+        return None
 
     def clear(self) -> None:
         for path in (self.intervals_path, self.solution_path):

@@ -16,6 +16,12 @@ Public surface::
 """
 
 from repro.grid.runtime.coordinator import Coordinator
+from repro.grid.runtime.faults import (
+    ChannelFaults,
+    CoordinatorCrash,
+    FaultPlan,
+    WorkerHang,
+)
 from repro.grid.runtime.launcher import (
     ParallelResult,
     RuntimeConfig,
@@ -24,10 +30,14 @@ from repro.grid.runtime.launcher import (
 from repro.grid.runtime.protocol import ProblemSpec, flowshop_spec, tsp_spec
 
 __all__ = [
+    "ChannelFaults",
     "Coordinator",
+    "CoordinatorCrash",
+    "FaultPlan",
     "ParallelResult",
     "ProblemSpec",
     "RuntimeConfig",
+    "WorkerHang",
     "flowshop_spec",
     "solve_parallel",
     "tsp_spec",

@@ -4,11 +4,21 @@ Mirrors the simulated worker's session loop (pull work, explore in
 slices, push improvements, update the interval) but against real OS
 queues and a real clock.  The slice is counted in *nodes*, not
 seconds, so test runs with tiny instances stay deterministic.
+
+Every exchange is an at-least-once RPC: the worker stamps a monotonic
+sequence number on the message, waits ``reply_timeout`` for a reply
+carrying that seq (discarding stale replies left over from earlier
+retries), and on timeout re-sends the same message — same seq, so the
+coordinator dedups — up to ``max_retries`` times with the wait doubling
+each attempt (capped).  Only when every retry times out does the worker
+give up and die silently, exactly like a crash.
 """
 
 from __future__ import annotations
 
+import itertools
 import queue as queue_mod
+import time
 from typing import Optional
 
 from repro.core.engine import IntervalExplorer
@@ -28,6 +38,8 @@ from repro.grid.runtime.protocol import (
 
 __all__ = ["worker_main"]
 
+_BACKOFF_CAP = 8.0  # max multiplier over reply_timeout per attempt
+
 
 def worker_main(
     worker_id: str,
@@ -37,31 +49,68 @@ def worker_main(
     update_nodes: int = 2000,
     power: float = 1.0,
     reply_timeout: float = 60.0,
+    max_retries: int = 2,
     crash_after_updates: Optional[int] = None,
+    hang_after_updates: Optional[int] = None,
+    hang_seconds: float = 0.0,
 ) -> None:
     """Run one B&B process until the coordinator says terminate.
 
     ``crash_after_updates`` makes the worker exit abruptly (no Bye)
-    after that many interval updates — the fault-injection hook the
-    fault-tolerance tests and example use.
+    after that many interval updates; ``hang_after_updates`` makes it
+    sleep ``hang_seconds`` instead — alive but silent, so its lease
+    expires at the coordinator.  Both are fault-injection hooks used
+    by the chaos suite and the examples.
     """
     problem = spec.build()
     stats_total = {"nodes": 0, "updates": 0, "allocations": 0, "improvements": 0}
     updates_sent = 0
     best = {"cost": float("inf"), "solution": None}
+    seq_counter = itertools.count(1)
 
     def rpc(message):
-        request_queue.put(message)
-        try:
-            return reply_queue.get(timeout=reply_timeout)
-        except queue_mod.Empty:
-            return None  # coordinator gone: die silently like a crash
+        seq = next(seq_counter)
+        message.seq = seq
+        timeout = reply_timeout
+        for _attempt in range(max_retries + 1):
+            request_queue.put(message)
+            deadline = time.monotonic() + timeout
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    reply = reply_queue.get(timeout=remaining)
+                except queue_mod.Empty:
+                    break
+                reply_seq = getattr(reply, "seq", 0)
+                if reply_seq in (0, seq):
+                    return reply
+                # A stale reply from an RPC we already retried past:
+                # drain and keep waiting for the current one.
+            timeout = min(timeout * 2.0, reply_timeout * _BACKOFF_CAP)
+        return None  # coordinator gone for good: die silently like a crash
 
     def reinform_if_stale(global_best):
         # The coordinator believes something worse than our local best
         # (it recovered from an old checkpoint): push ours again.
         if best["solution"] is not None and global_best > best["cost"]:
             rpc(Push(worker_id, best["cost"], best["solution"]))
+
+    def maybe_inject_fault() -> bool:
+        """Apply the per-update fault hooks; True means exit now."""
+        if (
+            crash_after_updates is not None
+            and updates_sent >= crash_after_updates
+        ):
+            return True  # simulated crash: no Bye, interval left behind
+        if (
+            hang_after_updates is not None
+            and updates_sent == hang_after_updates
+            and hang_seconds > 0
+        ):
+            time.sleep(hang_seconds)  # alive but silent: lease expires
+        return False
 
     while True:
         reply = rpc(Request(worker_id, power))
@@ -114,11 +163,8 @@ def worker_main(
                 return
             stats_total["updates"] += 1
             updates_sent += 1
-            if (
-                crash_after_updates is not None
-                and updates_sent >= crash_after_updates
-            ):
-                return  # simulated crash: no Bye, interval left behind
+            if maybe_inject_fault():
+                return
             if isinstance(reconciled, Terminate):
                 terminate = True
                 break

@@ -11,7 +11,7 @@ simulator uses: :class:`~repro.core.interval_set.IntervalSet`,
 from __future__ import annotations
 
 import time
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.core.checkpoint import CheckpointStore
 from repro.core.interval import Interval
@@ -45,6 +45,13 @@ class Coordinator:
         Optional checkpoint store; when given, :meth:`maybe_checkpoint`
         persists INTERVALS and SOLUTION every ``checkpoint_period``
         wall seconds, and :meth:`recover` restores them.
+    lease_seconds:
+        When set, a worker that owns an interval but has not been
+        heard from for this long is presumed dead: :meth:`check_leases`
+        releases its copy to the load balancer.  A worker that was
+        merely slow reconciles later through the carve path — the
+        interval-set invariant makes a wrongly-expired lease cost
+        redundancy, never lost work.
     """
 
     def __init__(
@@ -54,13 +61,21 @@ class Coordinator:
         store: Optional[CheckpointStore] = None,
         checkpoint_period: float = 5.0,
         initial_best: Optional[Incumbent] = None,
+        lease_seconds: Optional[float] = None,
     ):
         self.intervals = IntervalSet.initial(root_interval, duplication_threshold)
         self.solution = (initial_best or Incumbent()).copy()
         self.store = store
         self.checkpoint_period = checkpoint_period
+        self.lease_seconds = lease_seconds
         self._last_checkpoint = time.monotonic()
         self._powers: Dict[str, float] = {}
+        # At-least-once RPC state: per-worker highest seq seen and the
+        # reply it produced, so retries and channel duplicates are
+        # answered idempotently instead of re-applied.
+        self._last_seq: Dict[str, int] = {}
+        self._last_reply: Dict[str, Any] = {}
+        self._last_heard: Dict[str, float] = {}
         self.terminated = False
         # Table 2-style counters
         self.worker_checkpoint_ops = 0
@@ -68,6 +83,8 @@ class Coordinator:
         self.nodes_explored = 0
         self.leaves_consumed = 0
         self.improvements = 0
+        self.duplicates_ignored = 0
+        self.leases_expired: List[str] = []
         self.byes: Dict[str, Dict[str, int]] = {}
 
     # ------------------------------------------------------------------
@@ -78,6 +95,7 @@ class Coordinator:
         root_interval: Interval,
         duplication_threshold: int = 1,
         checkpoint_period: float = 5.0,
+        lease_seconds: Optional[float] = None,
     ) -> "Coordinator":
         """Restart after a farmer failure: reload the two files (§4.1)."""
         intervals, incumbent = store.load(duplication_threshold)
@@ -87,6 +105,7 @@ class Coordinator:
             store,
             checkpoint_period,
             initial_best=incumbent,
+            lease_seconds=lease_seconds,
         )
         if intervals is not None:
             coord.intervals = intervals
@@ -94,7 +113,35 @@ class Coordinator:
 
     # ------------------------------------------------------------------
     def handle(self, message: Any) -> Optional[Any]:
-        """Process one worker message; return the reply (None for Bye)."""
+        """Process one worker message; return the reply (None for Bye).
+
+        Sequenced messages (``seq > 0``) are deduplicated: a seq equal
+        to the last one processed for that worker returns the cached
+        reply without touching state (retries, channel duplicates); an
+        older seq returns ``None`` (a reordered stale duplicate — the
+        worker has already moved past it).
+        """
+        worker = getattr(message, "worker", None)
+        if worker is not None:
+            self._last_heard[worker] = time.monotonic()
+        seq = getattr(message, "seq", 0)
+        if worker is not None and seq > 0:
+            last = self._last_seq.get(worker, 0)
+            if seq == last:
+                self.duplicates_ignored += 1
+                return self._last_reply.get(worker)
+            if seq < last:
+                self.duplicates_ignored += 1
+                return None
+        reply = self._dispatch(message)
+        if worker is not None and seq > 0:
+            self._last_seq[worker] = seq
+            if reply is not None:
+                reply.seq = seq
+            self._last_reply[worker] = reply
+        return reply
+
+    def _dispatch(self, message: Any) -> Optional[Any]:
         if isinstance(message, Request):
             return self._on_request(message)
         if isinstance(message, Update):
@@ -136,9 +183,41 @@ class Coordinator:
 
     # ------------------------------------------------------------------
     def release_worker(self, worker: str) -> None:
-        """A worker process died: orphan its interval (§4.1)."""
+        """A worker process died: orphan its interval (§4.1).
+
+        The sequence cache is kept — if the worker is alive after all
+        (an expired lease on a slow worker), its retries must still be
+        deduplicated; only the lease clock restarts.
+        """
         self.intervals.release(worker)
         self._powers.pop(worker, None)
+        self._last_heard.pop(worker, None)
+
+    def check_leases(self, now: Optional[float] = None) -> List[str]:
+        """Release every interval owner silent past ``lease_seconds``.
+
+        Returns the workers released this call.  A worker first seen
+        here (it owns work but predates lease tracking — e.g. after a
+        coordinator recovery lost the clocks) starts a fresh lease
+        rather than being released immediately.
+        """
+        if self.lease_seconds is None:
+            return []
+        if now is None:
+            now = time.monotonic()
+        owners: set = set()
+        for rec in self.intervals.records().values():
+            owners |= rec.owners
+        expired: List[str] = []
+        for worker in sorted(owners, key=str):
+            heard = self._last_heard.get(worker)
+            if heard is None:
+                self._last_heard[worker] = now
+            elif now - heard > self.lease_seconds:
+                self.release_worker(worker)
+                expired.append(worker)
+        self.leases_expired.extend(expired)
+        return expired
 
     def maybe_checkpoint(self, force: bool = False) -> bool:
         """Persist INTERVALS and SOLUTION when the period elapsed."""

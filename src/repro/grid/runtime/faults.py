@@ -1,0 +1,259 @@
+"""Fault injection for the real multiprocessing runtime (§4.1 end-to-end).
+
+The simulator injects failures under a virtual clock; this module does
+it against real OS processes and queues so the paper's recovery claims
+are exercised where they matter:
+
+* **Coordinator crash** — the launcher discards the live
+  :class:`~repro.grid.runtime.coordinator.Coordinator` (losing all
+  in-memory state, including the per-worker sequence cache), drops
+  every message that arrives during the downtime window, and rebuilds
+  via :meth:`Coordinator.recover` from the two checkpoint files.
+* **Lossy channel** — :class:`LossyReceiver` / :class:`LossySender`
+  wrap the request and reply queues and probabilistically drop,
+  duplicate, or delay (reorder) individual protocol messages, driven
+  by a seeded ``random.Random`` so every schedule is reproducible.
+* **Worker hang** — unlike a crash, a hung worker stays alive but
+  silent past its lease; the coordinator releases its interval to the
+  load balancer, and the worker's eventual late update reconciles
+  through the carve path (redundant work, never lost work).
+
+Every fault is safe by the interval-set invariant: the union of
+coordinator copies always covers all unexplored work, so the worst a
+fault can cost is re-exploration.
+"""
+
+from __future__ import annotations
+
+import queue as queue_mod
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = [
+    "CoordinatorCrash",
+    "WorkerHang",
+    "ChannelFaults",
+    "FaultStats",
+    "FaultPlan",
+    "LossyReceiver",
+    "LossySender",
+]
+
+
+@dataclass(frozen=True)
+class CoordinatorCrash:
+    """Kill the coordinator after it handled ``after_messages`` messages.
+
+    The launcher then ignores traffic for ``downtime`` seconds (the
+    farmer is down: messages sent to it are lost) before recovering
+    from the checkpoint store.
+    """
+
+    after_messages: int
+    downtime: float = 0.25
+
+
+@dataclass(frozen=True)
+class WorkerHang:
+    """Make a worker sleep ``seconds`` after ``after_updates`` updates.
+
+    The worker does not crash — it goes silent long enough for its
+    lease to expire, then resumes and reports stale progress.
+    """
+
+    after_updates: int
+    seconds: float = 1.0
+
+
+@dataclass(frozen=True)
+class ChannelFaults:
+    """Per-message fault probabilities for a lossy queue wrapper."""
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        total = self.drop + self.duplicate + self.delay
+        if not 0.0 <= total <= 1.0:
+            raise ValueError(
+                f"fault probabilities must sum to [0, 1], got {total}"
+            )
+
+
+@dataclass
+class FaultStats:
+    """How many messages each fault actually hit (both directions)."""
+
+    dropped: int = 0
+    duplicated: int = 0
+    delayed: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "dropped": self.dropped,
+            "duplicated": self.duplicated,
+            "delayed": self.delayed,
+        }
+
+    def total(self) -> int:
+        return self.dropped + self.duplicated + self.delayed
+
+
+@dataclass
+class FaultPlan:
+    """Everything that goes wrong during one parallel run.
+
+    ``worker_crashes`` maps worker index -> crash after that many
+    updates (same semantics as ``RuntimeConfig.crash_workers``);
+    ``worker_hangs`` maps worker index -> :class:`WorkerHang`.
+    ``seed`` drives the lossy-channel RNG.
+    """
+
+    coordinator_crashes: List[CoordinatorCrash] = field(default_factory=list)
+    channel: Optional[ChannelFaults] = None
+    worker_crashes: Dict[int, int] = field(default_factory=dict)
+    worker_hangs: Dict[int, WorkerHang] = field(default_factory=dict)
+    seed: int = 0
+
+    def is_empty(self) -> bool:
+        return (
+            not self.coordinator_crashes
+            and self.channel is None
+            and not self.worker_crashes
+            and not self.worker_hangs
+        )
+
+    @classmethod
+    def chaos(cls, seed: int, workers: int = 3) -> "FaultPlan":
+        """A randomized but reproducible schedule mixing every fault kind.
+
+        Guaranteed non-empty: every seed injects at least a lossy
+        channel, and roughly half the seeds add a coordinator crash,
+        a worker crash, and/or a worker hang on top.
+        """
+        rng = random.Random(seed)
+        plan = cls(seed=seed)
+        plan.channel = ChannelFaults(
+            drop=rng.uniform(0.01, 0.10),
+            duplicate=rng.uniform(0.01, 0.10),
+            delay=rng.uniform(0.01, 0.10),
+        )
+        if rng.random() < 0.5:
+            plan.coordinator_crashes = [
+                CoordinatorCrash(
+                    after_messages=rng.randint(4, 40),
+                    downtime=rng.uniform(0.1, 0.4),
+                )
+            ]
+        if rng.random() < 0.5 and workers > 1:
+            plan.worker_crashes = {
+                rng.randrange(workers): rng.randint(1, 4)
+            }
+        if rng.random() < 0.5:
+            victims = [
+                i for i in range(workers) if i not in plan.worker_crashes
+            ]
+            if victims:
+                plan.worker_hangs = {
+                    rng.choice(victims): WorkerHang(
+                        after_updates=rng.randint(1, 4),
+                        seconds=rng.uniform(0.4, 0.9),
+                    )
+                }
+        return plan
+
+
+class LossyReceiver:
+    """Wrap the coordinator's request-queue ``get`` with channel faults.
+
+    Dropped messages are silently discarded (the worker's retry layer
+    recovers), duplicated messages are delivered twice back to back
+    (the coordinator's sequence cache dedups), and delayed messages
+    are buffered and re-inserted behind later traffic (reordering,
+    which the sequence numbers make harmless).  A buffered message is
+    always flushed when the underlying queue runs empty, so delay can
+    never turn into loss.
+    """
+
+    def __init__(self, queue, faults: ChannelFaults, rng: random.Random,
+                 stats: Optional[FaultStats] = None):
+        self._queue = queue
+        self._faults = faults
+        self._rng = rng
+        self.stats = stats if stats is not None else FaultStats()
+        self._pending: deque = deque()  # duplicates / released delays
+        self._delayed: deque = deque()
+
+    def get(self, timeout: Optional[float] = None):
+        while True:
+            if self._pending:
+                return self._pending.popleft()
+            try:
+                message = self._queue.get(timeout=timeout)
+            except queue_mod.Empty:
+                if self._delayed:
+                    return self._delayed.popleft()
+                raise
+            roll = self._rng.random()
+            f = self._faults
+            if roll < f.drop:
+                self.stats.dropped += 1
+                continue
+            if roll < f.drop + f.duplicate:
+                self.stats.duplicated += 1
+                self._pending.append(message)
+                return message
+            if roll < f.drop + f.duplicate + f.delay:
+                self.stats.delayed += 1
+                self._delayed.append(message)
+                continue
+            if self._delayed and self._rng.random() < 0.5:
+                self._pending.append(self._delayed.popleft())
+            return message
+
+
+class LossySender:
+    """Wrap a worker's reply-queue ``put`` with channel faults.
+
+    A dropped reply forces the worker's RPC retry (the coordinator
+    then answers from its sequence cache); a delayed reply is emitted
+    *after* the next one, exercising the worker's stale-reply discard.
+    ``flush`` releases any still-buffered replies — the launcher calls
+    it on idle iterations so a delayed terminal reply cannot strand a
+    worker forever.
+    """
+
+    def __init__(self, queue, faults: ChannelFaults, rng: random.Random,
+                 stats: Optional[FaultStats] = None):
+        self._queue = queue
+        self._faults = faults
+        self._rng = rng
+        self.stats = stats if stats is not None else FaultStats()
+        self._delayed: deque = deque()
+
+    def put(self, item) -> None:
+        roll = self._rng.random()
+        f = self._faults
+        if roll < f.drop:
+            self.stats.dropped += 1
+            self.flush()
+            return
+        if roll < f.drop + f.duplicate:
+            self.stats.duplicated += 1
+            self._queue.put(item)
+            self._queue.put(item)
+            self.flush()
+            return
+        if roll < f.drop + f.duplicate + f.delay:
+            self.stats.delayed += 1
+            self._delayed.append(item)
+            return
+        self._queue.put(item)
+        self.flush()
+
+    def flush(self) -> None:
+        while self._delayed:
+            self._queue.put(self._delayed.popleft())

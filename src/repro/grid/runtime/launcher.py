@@ -6,16 +6,27 @@ messages until the termination condition (INTERVALS empty) is reached
 and every live worker said goodbye, and returns the proved optimum
 with aggregate statistics.
 
-Worker death is detected through process sentinels: a worker that
-exits without a Bye gets its interval released (orphaned), which the
-load balancer then hands to the survivors — the §4.1 recovery path,
-exercised for real by ``crash_workers``.
+Worker death is detected two ways: process sentinels (a worker that
+exits without a Bye gets its interval released) and, when
+``lease_seconds`` is set, lease expiry — a worker silent for too long
+is presumed dead and its interval goes back to the load balancer even
+if the OS still shows the process alive (a hang, not a crash).
+
+A :class:`~repro.grid.runtime.faults.FaultPlan` turns the run into a
+chaos experiment: the coordinator itself can be crashed mid-run (state
+dropped, messages lost during the downtime, then recovered from the
+two checkpoint files), and the queues can drop, duplicate, or reorder
+individual messages.  The §4.1 invariant — the union of coordinator
+interval copies always covers all unexplored work — makes every such
+run terminate with the same proved optimum, at worst re-exploring.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import queue as queue_mod
+import random
+import tempfile
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -27,6 +38,12 @@ from repro.core.stats import Incumbent
 from repro.exceptions import RuntimeProtocolError
 from repro.grid.runtime.bbprocess import worker_main
 from repro.grid.runtime.coordinator import Coordinator
+from repro.grid.runtime.faults import (
+    FaultPlan,
+    FaultStats,
+    LossyReceiver,
+    LossySender,
+)
 from repro.grid.runtime.protocol import Bye, ProblemSpec
 
 __all__ = ["RuntimeConfig", "ParallelResult", "solve_parallel"]
@@ -44,8 +61,12 @@ class RuntimeConfig:
     initial_upper_bound: float = float("inf")
     initial_solution: Any = None
     deadline: float = 300.0  # wall-clock safety net (seconds)
+    reply_timeout: float = 60.0  # worker RPC wait before a retry
+    max_retries: int = 2  # RPC retries (same seq, capped backoff)
+    lease_seconds: Optional[float] = None  # silent-owner expiry (off by default)
     crash_workers: Dict[int, int] = field(default_factory=dict)
     # worker index -> crash after that many updates (fault injection)
+    fault_plan: Optional[FaultPlan] = None
 
 
 @dataclass
@@ -63,6 +84,10 @@ class ParallelResult:
     redundant_rate: float
     worker_stats: Dict[str, Dict[str, int]]
     crashed_workers: List[str]
+    coordinator_restarts: int = 0
+    leases_expired: List[str] = field(default_factory=list)
+    duplicates_ignored: int = 0
+    faults_injected: Dict[str, int] = field(default_factory=dict)
 
 
 def solve_parallel(spec: ProblemSpec, config: Optional[RuntimeConfig] = None) -> ParallelResult:
@@ -70,55 +95,127 @@ def solve_parallel(spec: ProblemSpec, config: Optional[RuntimeConfig] = None) ->
     config = config or RuntimeConfig()
     if config.workers < 1:
         raise RuntimeProtocolError("need at least one worker")
+    plan = config.fault_plan or FaultPlan()
+    crash_workers = dict(config.crash_workers)
+    for idx, after in plan.worker_crashes.items():
+        crash_workers.setdefault(idx, after)
+
     problem = spec.build()
     total_leaves = problem.total_leaves()
+    root = Interval(0, total_leaves)
+    checkpoint_dir = config.checkpoint_dir
+    temp_ckpt: Optional[tempfile.TemporaryDirectory] = None
+    if checkpoint_dir is None and plan.coordinator_crashes:
+        # A coordinator crash is only recoverable through the two
+        # checkpoint files; give the run a store if the caller didn't.
+        temp_ckpt = tempfile.TemporaryDirectory(prefix="repro-ckpt-")
+        checkpoint_dir = Path(temp_ckpt.name)
     store = (
-        CheckpointStore(Path(config.checkpoint_dir))
-        if config.checkpoint_dir is not None
+        CheckpointStore(Path(checkpoint_dir))
+        if checkpoint_dir is not None
         else None
     )
     coordinator = Coordinator(
-        Interval(0, total_leaves),
+        root,
         duplication_threshold=config.duplication_threshold,
         store=store,
         checkpoint_period=config.checkpoint_period,
         initial_best=Incumbent(
             config.initial_upper_bound, config.initial_solution
         ),
+        lease_seconds=config.lease_seconds,
     )
 
     ctx = mp.get_context("fork") if hasattr(mp, "get_context") else mp
     request_queue = ctx.Queue()
-    reply_queues = {}
+    fault_stats = FaultStats()
+    fault_rng = random.Random(plan.seed)
+    if plan.channel is not None:
+        receiver: Any = LossyReceiver(
+            request_queue, plan.channel, fault_rng, fault_stats
+        )
+    else:
+        receiver = request_queue
+    reply_queues: Dict[str, Any] = {}
+    senders: Dict[str, Any] = {}
     processes: Dict[str, Any] = {}
     for i in range(config.workers):
         worker_id = f"worker-{i}"
         reply_queues[worker_id] = ctx.Queue()
+        if plan.channel is not None:
+            senders[worker_id] = LossySender(
+                reply_queues[worker_id], plan.channel, fault_rng, fault_stats
+            )
+        else:
+            senders[worker_id] = reply_queues[worker_id]
+        hang = plan.worker_hangs.get(i)
         proc = ctx.Process(
             target=worker_main,
             args=(worker_id, spec, request_queue, reply_queues[worker_id]),
             kwargs={
                 "update_nodes": config.update_nodes,
-                "crash_after_updates": config.crash_workers.get(i),
+                "reply_timeout": config.reply_timeout,
+                "max_retries": config.max_retries,
+                "crash_after_updates": crash_workers.get(i),
+                "hang_after_updates": hang.after_updates if hang else None,
+                "hang_seconds": hang.seconds if hang else 0.0,
             },
             daemon=True,
         )
         processes[worker_id] = proc
         proc.start()
 
+    crash_schedule = sorted(
+        plan.coordinator_crashes, key=lambda c: c.after_messages
+    )
+    next_crash = crash_schedule.pop(0) if crash_schedule else None
+    coordinator_restarts = 0
+    leases_expired: List[str] = []
+    duplicates_ignored = 0
+    messages_handled = 0
+    down_until: Optional[float] = None
+
     started = time.monotonic()
     done_workers: set = set()
     crashed: List[str] = []
     try:
         while len(done_workers) < len(processes):
-            if time.monotonic() - started > config.deadline:
+            now = time.monotonic()
+            if now - started > config.deadline:
                 raise RuntimeProtocolError(
                     f"parallel solve exceeded the {config.deadline}s deadline"
                 )
+
+            if down_until is not None:
+                # The farmer is down: whatever workers send is lost
+                # (they will retry).  When the downtime elapses, the
+                # coordinator restarts from the checkpoint files.
+                if now < down_until:
+                    try:
+                        receiver.get(timeout=min(0.05, down_until - now))
+                    except queue_mod.Empty:
+                        pass
+                    continue
+                duplicates_ignored += coordinator.duplicates_ignored
+                leases_expired.extend(coordinator.leases_expired)
+                coordinator = Coordinator.recover(
+                    store,
+                    root,
+                    duplication_threshold=config.duplication_threshold,
+                    checkpoint_period=config.checkpoint_period,
+                    lease_seconds=config.lease_seconds,
+                )
+                coordinator_restarts += 1
+                down_until = None
+
             coordinator.maybe_checkpoint()
             try:
-                message = request_queue.get(timeout=0.05)
+                message = receiver.get(timeout=0.05)
             except queue_mod.Empty:
+                coordinator.check_leases()
+                for sender in senders.values():
+                    if isinstance(sender, LossySender):
+                        sender.flush()
                 # Only with a drained queue do we look for crashes —
                 # a worker that exits right after its Bye must not be
                 # misread as dead before the Bye is processed.
@@ -129,21 +226,41 @@ def solve_parallel(spec: ProblemSpec, config: Optional[RuntimeConfig] = None) ->
                         coordinator.release_worker(worker_id)
                 continue
             reply = coordinator.handle(message)
+            messages_handled += 1
             if isinstance(message, Bye):
                 done_workers.add(message.worker)
                 if message.worker in crashed:
                     crashed.remove(message.worker)  # late Bye won the race
                 continue
             if reply is not None:
-                reply_queues[message.worker].put(reply)
+                senders[message.worker].put(reply)
+            if (
+                next_crash is not None
+                and messages_handled >= next_crash.after_messages
+            ):
+                # Crash the farmer: in-memory INTERVALS, SOLUTION, and
+                # the sequence cache are gone; only the checkpoint
+                # files survive the downtime.
+                coordinator.maybe_checkpoint()  # periodic save, not a flush
+                down_until = time.monotonic() + next_crash.downtime
+                next_crash = (
+                    crash_schedule.pop(0) if crash_schedule else None
+                )
     finally:
         coordinator.maybe_checkpoint(force=True)
+        for sender in senders.values():
+            if isinstance(sender, LossySender):
+                sender.flush()
         for proc in processes.values():
             proc.join(timeout=5.0)
             if proc.is_alive():
                 proc.terminate()
                 proc.join(timeout=5.0)
+        if temp_ckpt is not None:
+            temp_ckpt.cleanup()
 
+    duplicates_ignored += coordinator.duplicates_ignored
+    leases_expired.extend(coordinator.leases_expired)
     optimal = coordinator.intervals.is_empty()
     return ParallelResult(
         cost=coordinator.solution.cost,
@@ -157,4 +274,8 @@ def solve_parallel(spec: ProblemSpec, config: Optional[RuntimeConfig] = None) ->
         redundant_rate=coordinator.redundant_rate(total_leaves),
         worker_stats=dict(coordinator.byes),
         crashed_workers=crashed,
+        coordinator_restarts=coordinator_restarts,
+        leases_expired=leases_expired,
+        duplicates_ignored=duplicates_ignored,
+        faults_injected=fault_stats.as_dict(),
     )

@@ -80,10 +80,18 @@ def tsp_spec(instance) -> ProblemSpec:
 # ----------------------------------------------------------------------
 # worker -> coordinator
 # ----------------------------------------------------------------------
+# ``seq`` is a per-worker monotonic sequence number (0 = unsequenced,
+# for legacy senders).  A worker reuses the same seq when it *retries*
+# an RPC whose reply timed out, so the coordinator can tell a retry or
+# a channel-duplicated message from new traffic and answer it
+# idempotently from its reply cache.
+
+
 @dataclass
 class Request:
     worker: str
     power: float = 1.0
+    seq: int = 0
 
 
 @dataclass
@@ -92,6 +100,7 @@ class Update:
     interval: Tuple[int, int]
     nodes: int  # nodes explored since the previous update
     consumed: int
+    seq: int = 0
 
 
 @dataclass
@@ -99,11 +108,15 @@ class Push:
     worker: str
     cost: float
     solution: Any
+    seq: int = 0
 
 
 @dataclass
 class Bye:
-    """Graceful exit after a terminate reply; carries final stats."""
+    """Graceful exit after a terminate reply; carries final stats.
+
+    Fire-and-forget (no reply expected), hence no sequence number.
+    """
 
     worker: str
     stats: Dict[str, int]
@@ -112,23 +125,32 @@ class Bye:
 # ----------------------------------------------------------------------
 # coordinator -> worker
 # ----------------------------------------------------------------------
+# Replies echo the request's ``seq`` so a worker draining its reply
+# queue can discard stale replies (late duplicates of RPCs it already
+# gave up on) instead of mistaking them for the current answer.
+
+
 @dataclass
 class GrantWork:
     interval: Tuple[int, int]
     best_cost: float
+    seq: int = 0
 
 
 @dataclass
 class Reconciled:
     interval: Tuple[int, int]
     best_cost: float
+    seq: int = 0
 
 
 @dataclass
 class Ack:
     best_cost: float
+    seq: int = 0
 
 
 @dataclass
 class Terminate:
     best_cost: float
+    seq: int = 0

@@ -12,6 +12,7 @@ and restarts after a downtime, losing its in-memory ``INTERVALS`` and
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import List, Tuple
 
@@ -41,6 +42,9 @@ class FarmerFailurePlan:
                     "farmer outages must be sorted and non-overlapping"
                 )
             last_end = crash + downtime
+        # Sortedness is validated above, so membership queries can
+        # bisect over the crash times instead of scanning every outage.
+        self._starts = [crash for crash, _ in self.outages]
 
     @classmethod
     def poisson(
@@ -60,4 +64,10 @@ class FarmerFailurePlan:
         return cls(outages)
 
     def is_down(self, t: float) -> bool:
-        return any(crash <= t < crash + downtime for crash, downtime in self.outages)
+        # Outages are sorted and non-overlapping: only the last one
+        # starting at or before ``t`` can contain it — O(log n).
+        i = bisect_right(self._starts, t) - 1
+        if i < 0:
+            return False
+        crash, downtime = self.outages[i]
+        return t < crash + downtime

@@ -1,0 +1,51 @@
+"""Shared test configuration.
+
+Registers the ``timeout`` marker and, when the ``pytest-timeout``
+plugin is not installed (it is a dev extra, not a hard dependency),
+emulates it with ``SIGALRM`` so a wedged recovery path in the chaos
+suite fails fast instead of hanging the whole run.
+"""
+
+import signal
+
+import pytest
+
+try:
+    import pytest_timeout  # noqa: F401
+
+    _HAVE_TIMEOUT_PLUGIN = True
+except ImportError:
+    _HAVE_TIMEOUT_PLUGIN = False
+
+
+def pytest_configure(config):
+    if not _HAVE_TIMEOUT_PLUGIN:
+        config.addinivalue_line(
+            "markers",
+            "timeout(seconds): fail the test if it runs longer than this "
+            "(SIGALRM fallback; install pytest-timeout for the real thing)",
+        )
+
+
+if not _HAVE_TIMEOUT_PLUGIN and hasattr(signal, "SIGALRM"):
+
+    @pytest.hookimpl(hookwrapper=True)
+    def pytest_runtest_call(item):
+        marker = item.get_closest_marker("timeout")
+        if marker is None or not marker.args:
+            yield
+            return
+        seconds = float(marker.args[0])
+
+        def _on_alarm(signum, frame):
+            raise TimeoutError(
+                f"{item.nodeid} exceeded the {seconds}s timeout"
+            )
+
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, seconds)
+        try:
+            yield
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, previous)

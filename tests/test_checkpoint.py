@@ -7,6 +7,8 @@ import pytest
 
 from repro.core import CheckpointStore, Incumbent, Interval, IntervalSet
 from repro.exceptions import CheckpointError
+from repro.grid.runtime import Coordinator
+from repro.grid.runtime.protocol import Push, Request, Update
 
 
 @pytest.fixture
@@ -104,3 +106,110 @@ class TestCombined:
         store.save_intervals(IntervalSet.initial(Interval(0, 10)))
         store.save_intervals(IntervalSet.initial(Interval(5, 10)))
         assert store.load_intervals().intervals() == [Interval(5, 10)]
+
+
+class TestGenerations:
+    """The shared generation stamp on paired saves."""
+
+    def _gen(self, path):
+        return json.loads(path.read_text())["generation"]
+
+    def test_pair_saves_share_a_generation(self, store):
+        store.save(IntervalSet.initial(Interval(0, 10)), Incumbent(1.0, (0,)))
+        g1 = self._gen(store.intervals_path)
+        assert g1 == self._gen(store.solution_path)
+        store.save(IntervalSet.initial(Interval(2, 10)), Incumbent(1.0, (0,)))
+        g2 = self._gen(store.intervals_path)
+        assert g2 == self._gen(store.solution_path)
+        assert g2 > g1
+
+    def test_generation_resumes_past_on_disk_state(self, store, tmp_path):
+        store.save(IntervalSet.initial(Interval(0, 10)), Incumbent(1.0, (0,)))
+        g1 = self._gen(store.intervals_path)
+        # A fresh store over the same directory (a recovered farmer)
+        # must not reuse generations already spent.
+        reopened = CheckpointStore(store.directory)
+        reopened.save(IntervalSet.initial(Interval(3, 10)), Incumbent(1.0, (0,)))
+        assert self._gen(reopened.intervals_path) > g1
+
+    def test_mismatched_generations_refused(self, store):
+        store.save(IntervalSet.initial(Interval(0, 10)), Incumbent(1.0, (0,)))
+        # Simulate a crash between the two writes of a later save:
+        # INTERVALS advanced to a new generation, SOLUTION did not.
+        store.save_intervals(IntervalSet.initial(Interval(5, 10)), generation=99)
+        with pytest.raises(CheckpointError, match="generation mismatch"):
+            store.load()
+
+    def test_unstamped_legacy_pair_still_loads(self, store):
+        # Files written by the standalone savers carry no generation;
+        # the pair check must not reject pre-generation checkpoints.
+        store.save_intervals(IntervalSet.initial(Interval(0, 10)))
+        store.save_solution(Incumbent(2.0, (1,)))
+        intervals, incumbent = store.load()
+        assert intervals.size == 10
+        assert incumbent.cost == 2.0
+
+    def test_partial_pair_refused_intervals_only(self, store):
+        store.save_intervals(IntervalSet.initial(Interval(0, 10)))
+        with pytest.raises(CheckpointError, match="partial checkpoint"):
+            store.load()
+
+    def test_partial_pair_refused_solution_only(self, store):
+        store.save_solution(Incumbent(3.0, (0, 1)))
+        with pytest.raises(CheckpointError, match="partial checkpoint"):
+            store.load()
+
+
+class TestCoordinatorRecover:
+    """Recovery against damaged checkpoints, not just the happy path."""
+
+    def _checkpointed(self, store):
+        coord = Coordinator(Interval(0, 720), store=store, checkpoint_period=0.0)
+        coord.handle(Request("w0"))
+        coord.handle(Update("w0", (100, 720), nodes=5, consumed=100))
+        coord.handle(Push("w0", 99.0, (0, 1)))
+        assert coord.maybe_checkpoint(force=True)
+        return coord
+
+    def test_happy_path_still_works(self, store):
+        self._checkpointed(store)
+        recovered = Coordinator.recover(store, Interval(0, 720))
+        assert recovered.intervals.size == 620
+        assert recovered.solution.cost == 99.0
+
+    def test_truncated_intervals_file_raises(self, store):
+        self._checkpointed(store)
+        text = store.intervals_path.read_text()
+        store.intervals_path.write_text(text[: len(text) // 2])
+        with pytest.raises(CheckpointError):
+            Coordinator.recover(store, Interval(0, 720))
+
+    def test_truncated_solution_file_raises(self, store):
+        self._checkpointed(store)
+        text = store.solution_path.read_text()
+        store.solution_path.write_text(text[: len(text) // 2])
+        with pytest.raises(CheckpointError):
+            Coordinator.recover(store, Interval(0, 720))
+
+    def test_corrupt_json_raises(self, store):
+        self._checkpointed(store)
+        store.intervals_path.write_text("{ not json at all")
+        with pytest.raises(CheckpointError):
+            Coordinator.recover(store, Interval(0, 720))
+
+    def test_missing_intervals_file_raises(self, store):
+        self._checkpointed(store)
+        store.intervals_path.unlink()
+        with pytest.raises(CheckpointError, match="partial checkpoint"):
+            Coordinator.recover(store, Interval(0, 720))
+
+    def test_missing_solution_file_raises(self, store):
+        self._checkpointed(store)
+        store.solution_path.unlink()
+        with pytest.raises(CheckpointError, match="partial checkpoint"):
+            Coordinator.recover(store, Interval(0, 720))
+
+    def test_both_missing_starts_fresh(self, store):
+        recovered = Coordinator.recover(store, Interval(0, 720))
+        assert recovered.intervals.size == 720
+        assert recovered.solution.cost == float("inf")

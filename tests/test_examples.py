@@ -19,6 +19,7 @@ FAST_EXAMPLES = [
     "parallel_solve.py",
     "challenge_ta056.py",
     "p2p_stealing.py",
+    "chaos_run.py",
 ]
 
 
