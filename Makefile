@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos bench bench-show report examples clean
+.PHONY: install test chaos bench bench-show bench-engine report examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -20,6 +20,11 @@ bench:
 
 bench-show:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Engine throughput: batched child bounding vs the per-node path.
+# Regenerates BENCH_PR2.json (see docs/performance.md).
+bench-engine:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_engine_throughput.py
 
 report:
 	$(PYTHON) -m repro.cli report

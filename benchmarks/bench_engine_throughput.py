@@ -1,0 +1,262 @@
+"""Engine throughput — batched child bounding vs the per-node path.
+
+PR 2's tentpole restructured the exploration hot path around
+``Problem.bound_children``: at decomposition time the engine bounds all
+siblings in one vectorised kernel call and prunes before pushing,
+instead of popping each child and calling ``lower_bound`` on it.  This
+benchmark solves 20-job flow-shop instances with *both* paths, asserts
+that they agree **exactly** (same optimum, byte-identical
+``ExplorationStats``), and records nodes/sec, bound-evaluations/sec
+and the speedup into ``BENCH_PR2.json`` at the repo root — the start
+of the perf trajectory (``docs/performance.md``).
+
+Run it via ``make bench-engine`` or directly::
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py --quick
+
+The tier-1 smoke test (``tests/test_bench_engine_throughput.py``) runs
+the ``--quick`` configuration on every test run so the fast path
+cannot silently rot.
+
+Configuration notes
+-------------------
+* The full-tree configurations use a Taillard-distribution 20x5
+  instance that is exhaustively solvable in under a second (most
+  20-job instances are not; NEH warm-starts the incumbent).
+* The 20x20 configurations solve a leading *interval* of Ta021
+  (``solve(..., interval=...)`` — the paper's work unit) because the
+  full tree is out of reach sequentially; the slice is a complete B&B
+  proof over its subtrees.
+* ``pair_strategy="all"`` evaluates every O(M^2) machine pair in LB2.
+  The scalar path pays a Python-level loop per pair per node, the
+  batched kernel sweeps all pairs in one NumPy evaluation — this is
+  the configuration where batching matters most, and with the batched
+  kernels it becomes an affordable default.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import Interval, solve  # noqa: E402
+from repro.problems.flowshop import (  # noqa: E402
+    FlowShopProblem,
+    neh,
+    random_instance,
+    taillard_instance,
+)
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_PR2.json"
+
+
+def _configs(quick: bool) -> List[Dict[str, Any]]:
+    """Benchmark configurations: each is one ``solve()`` call."""
+    if quick:
+        small = random_instance(8, 4, seed=8)
+        slice_inst = random_instance(10, 5, seed=2)
+        return [
+            dict(
+                name="quick-8x4-full",
+                instance=small,
+                pair_strategy="adjacent+ends",
+                warm_start=True,
+                interval_denominator=None,
+            ),
+            dict(
+                name="quick-10x5-slice",
+                instance=slice_inst,
+                pair_strategy="all",
+                warm_start=False,
+                interval_denominator=10**2,
+            ),
+        ]
+    full = random_instance(20, 5, seed=1)
+    ta021 = taillard_instance(20, 20, 1)
+    return [
+        dict(
+            name="ta-class-20x5-full",
+            instance=full,
+            pair_strategy="adjacent+ends",
+            warm_start=True,
+            interval_denominator=None,
+        ),
+        dict(
+            name="ta-class-20x5-full-allpairs",
+            instance=full,
+            pair_strategy="all",
+            warm_start=True,
+            interval_denominator=None,
+        ),
+        dict(
+            name="ta021-20x20-slice",
+            instance=ta021,
+            pair_strategy="adjacent+ends",
+            warm_start=False,
+            interval_denominator=10**12,
+        ),
+        dict(
+            name="ta021-20x20-slice-allpairs",
+            instance=ta021,
+            pair_strategy="all",
+            warm_start=False,
+            interval_denominator=10**12,
+        ),
+    ]
+
+
+def _run_one(config: Dict[str, Any], batched: bool, repeats: int):
+    """Best-of-``repeats`` timing of one solve; returns (seconds, result)."""
+    instance = config["instance"]
+    upper = math.inf
+    if config["warm_start"]:
+        _, upper = neh(instance)
+    interval = None
+    if config["interval_denominator"] is not None:
+        total = math.factorial(instance.jobs)
+        interval = Interval(0, total // config["interval_denominator"])
+    best = math.inf
+    result = None
+    for _ in range(repeats):
+        problem = FlowShopProblem(
+            instance, pair_strategy=config["pair_strategy"]
+        )
+        start = time.perf_counter()
+        result = solve(
+            problem,
+            interval=interval,
+            initial_upper_bound=upper,
+            batched_bounds=batched,
+        )
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run_benchmark(quick: bool = False, repeats: int = 3) -> Dict[str, Any]:
+    """Run every configuration on both paths; verify exact agreement."""
+    records = []
+    for config in _configs(quick):
+        batched_s, batched_r = _run_one(config, batched=True, repeats=repeats)
+        scalar_s, scalar_r = _run_one(config, batched=False, repeats=repeats)
+
+        # The two paths must be *indistinguishable* except for speed.
+        if batched_r.cost != scalar_r.cost:
+            raise AssertionError(
+                f"{config['name']}: optima differ "
+                f"(batched {batched_r.cost}, scalar {scalar_r.cost})"
+            )
+        if batched_r.solution != scalar_r.solution:
+            raise AssertionError(f"{config['name']}: solutions differ")
+        batched_stats = vars(batched_r.stats)
+        scalar_stats = vars(scalar_r.stats)
+        if batched_stats != scalar_stats:
+            raise AssertionError(
+                f"{config['name']}: node accounting differs\n"
+                f"  batched: {batched_stats}\n  scalar:  {scalar_stats}"
+            )
+
+        stats = batched_r.stats
+        instance = config["instance"]
+        records.append(
+            {
+                "name": config["name"],
+                "jobs": instance.jobs,
+                "machines": instance.machines,
+                "pair_strategy": config["pair_strategy"],
+                "warm_start": config["warm_start"],
+                "interval_denominator": config["interval_denominator"],
+                "cost": int(batched_r.cost),
+                "nodes_explored": stats.nodes_explored,
+                "nodes_pruned": stats.nodes_pruned,
+                "nodes_decomposed": stats.nodes_decomposed,
+                "bound_evaluations": stats.bound_evaluations,
+                "identical_stats": True,
+                "scalar": {
+                    "seconds": round(scalar_s, 4),
+                    "nodes_per_sec": round(stats.nodes_explored / scalar_s),
+                    "bound_evals_per_sec": round(
+                        stats.bound_evaluations / scalar_s
+                    ),
+                },
+                "batched": {
+                    "seconds": round(batched_s, 4),
+                    "nodes_per_sec": round(stats.nodes_explored / batched_s),
+                    "bound_evals_per_sec": round(
+                        stats.bound_evaluations / batched_s
+                    ),
+                },
+                "speedup": round(scalar_s / batched_s, 2),
+            }
+        )
+
+    headline = max(records, key=lambda rec: rec["speedup"])
+    return {
+        "pr": 2,
+        "benchmark": "engine throughput: batched child bounding vs per-node",
+        "command": "make bench-engine",
+        "quick": quick,
+        "repeats": repeats,
+        "headline": {
+            "config": headline["name"],
+            "speedup": headline["speedup"],
+            "batched_nodes_per_sec": headline["batched"]["nodes_per_sec"],
+            "scalar_nodes_per_sec": headline["scalar"]["nodes_per_sec"],
+        },
+        "configs": records,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="tiny instances, one repeat (the tier-1 smoke configuration)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None, help="timing repeats per path"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help=f"result file (default {DEFAULT_OUTPUT}; quick mode: stdout only)",
+    )
+    args = parser.parse_args(argv)
+
+    repeats = args.repeats or (1 if args.quick else 3)
+    report = run_benchmark(quick=args.quick, repeats=repeats)
+
+    for rec in report["configs"]:
+        print(
+            f"{rec['name']:<30} {rec['nodes_explored']:>7} nodes  "
+            f"scalar {rec['scalar']['nodes_per_sec']:>7} n/s  "
+            f"batched {rec['batched']['nodes_per_sec']:>7} n/s  "
+            f"speedup {rec['speedup']:>6.2f}x"
+        )
+    print(
+        f"headline: {report['headline']['config']} "
+        f"{report['headline']['speedup']:.2f}x"
+    )
+
+    output = args.output
+    if output is None and not args.quick:
+        output = DEFAULT_OUTPUT
+    if output is not None:
+        output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

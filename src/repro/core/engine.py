@@ -15,7 +15,13 @@ Correspondence with the paper's four operators (§2):
   the smallest node number is always explored next (eq. 9 then holds
   by construction and folding is O(1));
 * **branching** — delegated to :meth:`Problem.branch`;
-* **bounding** — delegated to :meth:`Problem.lower_bound`;
+* **bounding** — delegated to :meth:`Problem.lower_bound`, or, when a
+  problem implements :meth:`Problem.bound_children`, evaluated for all
+  siblings at once at decomposition time (the batched-kernel structure
+  of the GPU-B&B follow-on work); cached bounds are re-checked against
+  the *current* incumbent when a node is popped, so the explored /
+  pruned / decomposed / bound-evaluation totals are identical to the
+  per-node path;
 * **elimination** — a node is eliminated when its bound reaches the
   incumbent cost *or* when its number falls outside the owned interval
   (the eq. 12 rule that makes work units independent).
@@ -70,14 +76,28 @@ class SolveResult:
 
 
 class _Entry:
-    """One frontier node on the DFS stack (ranks, state, cached number)."""
+    """One frontier node on the DFS stack.
 
-    __slots__ = ("ranks", "state", "number")
+    ``bound`` caches the node's lower bound when it was computed by a
+    batched :meth:`Problem.bound_children` call at decomposition time
+    (``None`` on the per-node path); the bound of a node never depends
+    on the incumbent, so the cached value stays valid and only the
+    prune *comparison* is deferred to pop time.
+    """
 
-    def __init__(self, ranks: Tuple[int, ...], state: Any, number: int):
+    __slots__ = ("ranks", "state", "number", "bound")
+
+    def __init__(
+        self,
+        ranks: Tuple[int, ...],
+        state: Any,
+        number: int,
+        bound: Optional[float] = None,
+    ):
         self.ranks = ranks
         self.state = state
         self.number = number
+        self.bound = bound
 
 
 class IntervalExplorer:
@@ -97,6 +117,12 @@ class IntervalExplorer:
     on_improvement:
         Called ``(cost, solution)`` whenever the local best improves
         (sharing rule 2: "immediately informs the coordinator").
+    batched_bounds:
+        ``None`` (default) uses :meth:`Problem.bound_children` whenever
+        the problem overrides it; ``False`` forces the per-node path
+        (the scalar baseline the throughput benchmark compares
+        against); ``True`` forces batch calls even on problems that
+        may return ``None`` (harmless — each ``None`` falls back).
     """
 
     def __init__(
@@ -106,8 +132,14 @@ class IntervalExplorer:
         *,
         incumbent: Optional[Incumbent] = None,
         on_improvement: Optional[ImprovementCallback] = None,
+        batched_bounds: Optional[bool] = None,
     ):
         self.problem = problem
+        if batched_bounds is None:
+            batched_bounds = (
+                type(problem).bound_children is not Problem.bound_children
+            )
+        self._batched_bounds = bool(batched_bounds)
         self.shape: TreeShape = problem.tree_shape()
         self._weights = self.shape.weights()
         full = Interval(0, self.shape.total_leaves)
@@ -243,13 +275,18 @@ class IntervalExplorer:
 
         One "node" is one frontier entry taken off the stack, matching
         the paper's explored-node accounting (pruned, decomposed and
-        leaf nodes all count).
+        leaf nodes all count).  On the batched path, children pruned at
+        decomposition time (they never reach the stack) also count —
+        they are the same nodes the per-node path would pop and prune —
+        so a step may overshoot ``max_nodes`` by at most one family of
+        siblings.
         """
         problem = self.problem
         stack = self._stack
         leaf_depth = self.shape.leaf_depth
         weights = self._weights
         stats = self.stats
+        batched = self._batched_bounds
         processed = 0
         improved = False
 
@@ -279,22 +316,78 @@ class IntervalExplorer:
                         )
                 continue
 
+            # A bound cached by a batched decomposition is the exact
+            # value lower_bound would return; only the comparison with
+            # the (possibly since-improved) incumbent happens now.
             stats.bound_evaluations += 1
-            if problem.lower_bound(entry.state, depth) >= self.incumbent.cost:
+            bound = entry.bound
+            if bound is None:
+                bound = problem.lower_bound(entry.state, depth)
+            if bound >= self.incumbent.cost:
                 stats.nodes_pruned += 1
                 continue
 
             stats.nodes_decomposed += 1
+            child_depth = depth + 1
+            child_bounds = None
+            if batched and child_depth < leaf_depth:
+                child_bounds = problem.bound_children(entry.state, depth)
+                if child_bounds is not None:
+                    if len(child_bounds) != self.shape.num_children(depth):
+                        raise ProblemError(
+                            f"{problem.name()}.bound_children returned "
+                            f"{len(child_bounds)} bounds at depth {depth}, "
+                            f"shape expects {self.shape.num_children(depth)}"
+                        )
+                    # One bulk conversion: comparing / storing plain
+                    # Python scalars is cheaper per child than ndarray
+                    # scalar indexing.
+                    tolist = getattr(child_bounds, "tolist", None)
+                    if tolist is not None:
+                        child_bounds = tolist()
             children = self._branch_checked(entry.state, depth)
-            child_weight = weights[depth + 1]
-            # Reverse rank order so rank 0 ends on top of the stack.
+            child_weight = weights[child_depth]
+            if child_bounds is None:
+                # Per-node path: push everything in range; bounds are
+                # evaluated lazily when the children are popped.
+                for rank in range(len(children) - 1, -1, -1):
+                    child_number = entry.number + rank * child_weight
+                    if child_number >= self._end:
+                        stats.nodes_skipped_out_of_range += 1
+                        continue
+                    stack.append(
+                        _Entry(
+                            entry.ranks + (rank,), children[rank], child_number
+                        )
+                    )
+                continue
+            # Batched path: prune before pushing.  The incumbent cannot
+            # improve between here and the moment the per-node path
+            # would pop a child that is *already* prunable now (bounds
+            # do not depend on the incumbent and the incumbent never
+            # worsens), so accounting an early-pruned child as
+            # explored+bounded+pruned matches the per-node totals
+            # exactly.  Survivors carry their bound onto the stack.
+            incumbent_cost = self.incumbent.cost
             for rank in range(len(children) - 1, -1, -1):
                 child_number = entry.number + rank * child_weight
                 if child_number >= self._end:
                     stats.nodes_skipped_out_of_range += 1
                     continue
+                child_bound = child_bounds[rank]
+                if child_bound >= incumbent_cost:
+                    processed += 1
+                    stats.nodes_explored += 1
+                    stats.bound_evaluations += 1
+                    stats.nodes_pruned += 1
+                    continue
                 stack.append(
-                    _Entry(entry.ranks + (rank,), children[rank], child_number)
+                    _Entry(
+                        entry.ranks + (rank,),
+                        children[rank],
+                        child_number,
+                        child_bound,
+                    )
                 )
 
         return StepReport(processed, finished=not stack, improved=improved)
@@ -316,6 +409,7 @@ def solve(
     initial_upper_bound: float = math.inf,
     initial_solution: Any = None,
     on_improvement: Optional[ImprovementCallback] = None,
+    batched_bounds: Optional[bool] = None,
 ) -> SolveResult:
     """Sequentially solve ``problem`` (over ``interval``) with proof.
 
@@ -333,6 +427,7 @@ def solve(
         interval,
         incumbent=incumbent,
         on_improvement=on_improvement,
+        batched_bounds=batched_bounds,
     )
     explorer.run()
     full = Interval(0, problem.total_leaves()) if interval is None else interval

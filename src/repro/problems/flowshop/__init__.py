@@ -12,6 +12,7 @@ Public surface::
 from repro.problems.flowshop.batch import makespans_batch, random_permutations
 from repro.problems.flowshop.bounds import (
     BoundData,
+    bound_data_for,
     machine_pairs,
     one_machine_bound,
     two_machine_bound,
@@ -29,6 +30,7 @@ from repro.problems.flowshop.johnson import (
     two_machine_makespan,
 )
 from repro.problems.flowshop.makespan import (
+    advance_fronts_batch,
     completion_front,
     makespan,
     partial_makespan,
@@ -52,6 +54,8 @@ from repro.problems.flowshop.taillard import (
 __all__ = [
     "BoundData",
     "FlowShopInstance",
+    "advance_fronts_batch",
+    "bound_data_for",
     "FlowShopProblem",
     "FlowShopState",
     "IGResult",

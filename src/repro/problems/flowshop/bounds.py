@@ -15,14 +15,22 @@ exhaustively against brute force on small instances):
   a makespan lower bound per pair.
 
 The pair-wise Johnson orders depend only on the instance, so they are
-precomputed once in :class:`BoundData`; per node the bound is a linear
-scan of the unscheduled jobs in the precomputed order — the hot loop
-the HPC guides say to keep tight (NumPy arrays, no re-sorting).
+precomputed once in :class:`BoundData`.  Per node the scalar bound is a
+linear scan of the unscheduled jobs in the precomputed order (selected
+by a membership-mask pass over the full order — O(n) per pair, no
+re-sorting).  The engine's hot path, however, uses the *batched* child
+kernels (``*_children``): they bound every child of a decomposed node
+in one NumPy evaluation, the structure the GPU flow-shop B&B line
+(Chakroun & Melab; Gmys) derives its throughput from.  LB2's batch
+kernel replays the shared Johnson order once per pair with prefix /
+suffix maxima of the F2 critical-path terms, making each child's
+"replay minus its own job" an O(1) lookup.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+from functools import lru_cache
+from typing import Iterable, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -31,7 +39,19 @@ from repro.problems.flowshop.instance import FlowShopInstance
 from repro.problems.flowshop.johnson import johnson_order
 from repro.problems.flowshop.makespan import tails_matrix
 
-__all__ = ["BoundData", "machine_pairs", "one_machine_bound", "two_machine_bound"]
+__all__ = [
+    "BoundData",
+    "bound_data_for",
+    "machine_pairs",
+    "one_machine_bound",
+    "two_machine_bound",
+]
+
+# Safe +/- "infinity" sentinels for int64 min/max scans: far above any
+# schedule length, far enough from the int64 limits that adding or
+# subtracting a processing time cannot overflow.
+_INT_MAX = np.int64(2**62)
+_INT_MIN = np.int64(-(2**62))
 
 
 def machine_pairs(machines: int, strategy: str = "adjacent+ends") -> List[Tuple[int, int]]:
@@ -58,6 +78,39 @@ def machine_pairs(machines: int, strategy: str = "adjacent+ends") -> List[Tuple[
     )
 
 
+class _PairData(NamedTuple):
+    """Precomputed F2-with-lags relaxation for one machine pair."""
+
+    j: int
+    k: int
+    a: np.ndarray  # p[:, j]
+    b: np.ndarray  # p[:, k]
+    lag: np.ndarray  # sum of p[:, j+1..k-1]
+    order: np.ndarray  # Johnson/Mitten priority order of ALL jobs
+
+
+def _min_over_rows_excluding_self(values: np.ndarray) -> np.ndarray:
+    """``out[c, j] = min over rows i != c of values[i, j]``.
+
+    The leave-one-out minimum every child kernel needs (child ``c``
+    removes job ``c`` from the remaining set): computed for all rows at
+    once from the column minimum and the runner-up at the argmin row.
+    """
+    r, m = values.shape
+    if r == 1:
+        return np.full((1, m), _INT_MAX, dtype=np.int64)
+    cols = np.arange(m)
+    am = values.argmin(axis=0)
+    min1 = values[am, cols]
+    masked = values.copy()
+    masked[am, cols] = _INT_MAX
+    min2 = masked.min(axis=0)
+    out = np.empty((r, m), dtype=np.int64)
+    out[:] = min1
+    out[am, cols] = min2
+    return out
+
+
 class BoundData:
     """Instance-wide precomputation shared by every node's bound.
 
@@ -73,6 +126,7 @@ class BoundData:
         self, instance: FlowShopInstance, pair_strategy: str = "adjacent+ends"
     ):
         self.instance = instance
+        self.pair_strategy = pair_strategy
         p = instance.processing_times
         self.p = p
         self.tails = tails_matrix(instance)
@@ -81,7 +135,7 @@ class BoundData:
         # lag = sum of p[:, j+1..k-1]; plus the Mitten/Johnson priority
         # order of ALL jobs (a subset keeps its induced suborder).
         cumulative = np.cumsum(p, axis=1)
-        self._pair_data = []
+        self._pair_data: List[_PairData] = []
         for j, k in self.pairs:
             a = p[:, j]
             b = p[:, k]
@@ -90,12 +144,47 @@ class BoundData:
             else:
                 lag = np.zeros(instance.jobs, dtype=p.dtype)
             order = np.array(johnson_order(a + lag, lag + b), dtype=np.intp)
-            # position[i] = rank of job i in the Johnson order, so a
-            # subset can be replayed in order with one argsort-free pass
-            position = np.empty(instance.jobs, dtype=np.intp)
-            position[order] = np.arange(instance.jobs)
-            self._pair_data.append((j, k, a, b, lag, position))
+            self._pair_data.append(_PairData(j, k, a, b, lag, order))
+        # Pair-stacked copies for the batched LB2 kernel: one (P, n)
+        # matrix per ingredient lets a single node evaluation sweep
+        # every pair at once instead of looping Python-side.  a/b and
+        # a/b/lag are additionally fused into one (2|3, P, n) block so
+        # the kernel pays one fancy-index per gather, not three.
+        npairs = len(self._pair_data)
+        if npairs:
+            self._j_idx = np.array([pd.j for pd in self._pair_data])
+            self._k_idx = np.array([pd.k for pd in self._pair_data])
+            self._jk_idx = np.concatenate([self._j_idx, self._k_idx])
+            self._a_all = np.stack([pd.a for pd in self._pair_data]).astype(np.int64)
+            self._b_all = np.stack([pd.b for pd in self._pair_data]).astype(np.int64)
+            self._lag_all = np.stack([pd.lag for pd in self._pair_data]).astype(np.int64)
+            self._abl_all = np.stack([self._a_all, self._b_all, self._lag_all])
+            self._ab_all = self._abl_all[:2]
+            self._order_all = np.stack([pd.order for pd in self._pair_data])
+            self._pair_rows = np.arange(npairs)[:, None]
+            self._flat_rows = np.arange(npairs)
+            self._pos_buffer = np.empty((npairs, instance.jobs), dtype=np.intp)
+        self._mask_buffer = np.zeros(instance.jobs, dtype=bool)
+        # Per-child-count scratch reused across kernel calls (the
+        # engine is single-threaded and the kernels return fresh
+        # output arrays, so reuse is safe): arange(r) plus the
+        # sentinel-padded prefix/suffix-max buffers of the LB2 kernel.
+        self._r_cache: dict = {}
 
+    def _r_scratch(self, r: int):
+        cached = self._r_cache.get(r)
+        if cached is None:
+            npairs = len(self._pair_data)
+            pmax = np.empty((npairs, r + 1), dtype=np.int64)
+            pmax[:, 0] = _INT_MIN
+            smax = np.empty((npairs, r + 1), dtype=np.int64)
+            smax[:, r] = _INT_MIN
+            cached = (np.arange(r), pmax, smax)
+            self._r_cache[r] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # scalar (per-node) bounds
     # ------------------------------------------------------------------
     def one_machine(self, front: np.ndarray, remaining: np.ndarray) -> int:
         """LB1 over all machines for the unscheduled jobs ``remaining``.
@@ -131,9 +220,14 @@ class BoundData:
             return int(front[-1])
         best = 0
         tails = self.tails
-        for j, k, a, b, lag, position in self._pair_data:
+        # One membership mask shared by all pairs: selecting the
+        # remaining jobs out of each precomputed full order is a linear
+        # pass, with no per-node argsort.
+        mask = np.zeros(self.instance.jobs, dtype=bool)
+        mask[remaining] = True
+        for j, k, a, b, lag, full_order in self._pair_data:
             # Replay the induced Johnson suborder of the remaining jobs.
-            order = remaining[np.argsort(position[remaining], kind="stable")]
+            order = full_order[mask[full_order]]
             c1 = int(front[j])
             c2 = int(front[k])
             for i in order:
@@ -154,14 +248,201 @@ class BoundData:
             return lb1
         return max(lb1, self.two_machine(front, remaining))
 
+    # ------------------------------------------------------------------
+    # batched child kernels
+    #
+    # ``fronts`` is the (r, M) stack of completion fronts of the r
+    # children of a node whose unscheduled set is ``remaining`` (child c
+    # schedules job remaining[c] next, so its own remaining set is
+    # ``remaining`` minus position c).  Each kernel returns the (r,)
+    # int64 vector of child bounds, entry for entry equal to the scalar
+    # bound of the corresponding child state.
+    # ------------------------------------------------------------------
+    def one_machine_children(
+        self, fronts: np.ndarray, remaining: np.ndarray
+    ) -> np.ndarray:
+        """Batched LB1: one evaluation for all children of a node."""
+        r = remaining.size
+        if r == 1:
+            # The single child has nothing left: its bound is its Cmax.
+            return fronts[:, -1].astype(np.int64)
+        return self._lb1_children(
+            fronts, self.p[remaining], self.tails[remaining]
+        )
+
+    def _lb1_children(
+        self, fronts: np.ndarray, p_rem: np.ndarray, tails_rem: np.ndarray
+    ) -> np.ndarray:
+        r, m = p_rem.shape
+        loads = p_rem.sum(axis=0) - p_rem
+        min_tails = _min_over_rows_excluding_self(tails_rem)
+        avail = np.empty((r, m), dtype=np.int64)
+        avail[:, 0] = fronts[:, 0]
+        if m > 1:
+            # completion[c, i] = earliest completion of job i on the
+            # current machine when appended to child c's front; child c
+            # must ignore column c (its own job), so the diagonal is
+            # parked at +"inf" once — the sentinel survives the max/add
+            # recurrence, keeping every later row minimum a plain min.
+            ar = self._r_scratch(r)[0]
+            completion = fronts[:, 0:1] + p_rem[:, 0]
+            completion[ar, ar] = _INT_MAX
+            minimum_reduce = np.minimum.reduce
+            maximum = np.maximum
+            for j in range(1, m):
+                col = avail[:, j]
+                minimum_reduce(completion, axis=1, out=col)
+                maximum(col, fronts[:, j], out=col)
+                if j < m - 1:
+                    maximum(completion, fronts[:, j : j + 1], out=completion)
+                    completion += p_rem[:, j]
+        avail += loads
+        avail += min_tails
+        return avail.max(axis=1)
+
+    def two_machine_children(
+        self, fronts: np.ndarray, remaining: np.ndarray
+    ) -> np.ndarray:
+        """Batched LB2 via prefix/suffix maxima of the F2 critical path.
+
+        For a fixed processing order (Johnson's), the F2-with-lags
+        makespan from offsets ``(c1_0, c2_0)`` unrolls to::
+
+            C2 = max(c2_0 + sum(b),  max_t c1_0 + A_t + lag_t + Bsuf_t)
+
+        with ``A_t`` the prefix sum of ``a`` and ``Bsuf_t`` the suffix
+        sum of ``b``.  Child ``c`` replays the parent's order minus its
+        own job at position ``q``; dropping one job shifts the critical
+        term by ``-b_q`` left of ``q`` and ``-a_q`` right of it, so with
+        prefix/suffix maxima of ``V_t = A_t + lag_t + Bsuf_t`` each
+        child's makespan is an O(1) combination — no per-child replay.
+        """
+        r = remaining.size
+        if r == 1:
+            return fronts[:, -1].astype(np.int64)
+        if not self._pair_data:
+            return np.zeros(r, dtype=np.int64)
+        mask = self._mask_buffer
+        mask[:] = False
+        mask[remaining] = True
+        return self._lb2_children(fronts, remaining, mask, self.tails[remaining])
+
+    def _lb2_children(
+        self,
+        fronts: np.ndarray,
+        remaining: np.ndarray,
+        mask: np.ndarray,
+        tails_rem: np.ndarray,
+    ) -> np.ndarray:
+        r = remaining.size
+        npairs = len(self._pair_data)
+        rows = self._pair_rows  # (P, 1)
+        arange_r, pmax, smax = self._r_scratch(r)
+        # Induced Johnson suborder of every pair at once: each row of
+        # the precomputed (P, n) order matrix keeps exactly r selected
+        # entries, so one nonzero pass yields their positions row-wise.
+        selected = mask[self._order_all]
+        cols = np.nonzero(selected)[1].reshape(-1, r)
+        seq = self._order_all[rows, cols]  # (P, r) job ids, Johnson order
+        a_seq, b_seq, lag_seq = self._abl_all[:, rows, seq]
+        prefix_a = np.cumsum(a_seq, axis=1)
+        suffix_b = np.cumsum(b_seq[:, ::-1], axis=1)[:, ::-1]
+        v = prefix_a
+        v += lag_seq
+        v += suffix_b
+        # Running maxima with a -inf sentinel pad on each end, so each
+        # child's left/right lookup below is a plain gather with no
+        # boundary case: pmax[:, t+1] = max(v[:, :t+1]) and
+        # smax[:, t] = max(v[:, t:]).
+        np.maximum.accumulate(v, axis=1, out=pmax[:, 1:])
+        np.maximum.accumulate(v[:, ::-1], axis=1, out=smax[:, r - 1 :: -1])
+        pos = self._pos_buffer
+        pos[rows, seq] = arange_r
+        q = pos[:, remaining]  # (P, r): position of child c's own job
+        a_q, b_q = self._ab_all[:, :, remaining]
+        left = pmax[rows, q]
+        left -= b_q
+        right = smax[rows, q + 1]
+        right -= a_q
+        np.maximum(left, right, out=left)
+        fr = fronts[:, self._jk_idx].T  # (2P, r): front[j] rows, front[k] rows
+        left += fr[:npairs]
+        c2 = suffix_b[:, 0:1] - b_q
+        c2 += fr[npairs:]
+        np.maximum(c2, left, out=c2)
+        # Leave-one-out minimum of the remaining tails on machine k,
+        # per pair: best and runner-up per row, swapped in where the
+        # child removes the argmin job.
+        tails_k = tails_rem[:, self._k_idx].T  # (P, r), a fresh copy
+        flat_rows = self._flat_rows
+        am = tails_k.argmin(axis=1)
+        min1 = tails_k[flat_rows, am]
+        tails_k[flat_rows, am] = _INT_MAX
+        min2 = tails_k.min(axis=1)
+        min_tail = min1.repeat(r).reshape(npairs, r)
+        min_tail[flat_rows, am] = min2
+        c2 += min_tail
+        return c2.max(axis=0)
+
+    def combined_children(
+        self,
+        fronts: np.ndarray,
+        remaining: np.ndarray,
+        p_rem: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Batched max(LB1, LB2) with the same short-circuit as scalar
+        :meth:`combined` (children with <= 1 unscheduled job skip LB2).
+
+        The gathers both kernels need (``p[remaining]``,
+        ``tails[remaining]``, the membership mask) are computed once
+        and shared; a caller that already holds ``p[remaining]`` (the
+        branching kernel does) can pass it through ``p_rem``.
+        """
+        r = remaining.size
+        if r == 1:
+            return fronts[:, -1].astype(np.int64)
+        if p_rem is None:
+            p_rem = self.p[remaining]
+        tails_rem = self.tails[remaining]
+        lb1 = self._lb1_children(fronts, p_rem, tails_rem)
+        if r - 1 <= 1 or not self._pair_data:
+            return lb1
+        mask = self._mask_buffer
+        mask[:] = False
+        mask[remaining] = True
+        lb2 = self._lb2_children(fronts, remaining, mask, tails_rem)
+        return np.maximum(lb1, lb2, out=lb1)
+
+
+@lru_cache(maxsize=32)
+def bound_data_for(
+    instance: FlowShopInstance, pair_strategy: str = "adjacent+ends"
+) -> BoundData:
+    """A shared :class:`BoundData` per (instance, strategy).
+
+    The precomputation (tails matrix + one Johnson sort per machine
+    pair) is pure in the instance, so repeated callers — notably the
+    :func:`one_machine_bound` / :func:`two_machine_bound` convenience
+    wrappers — reuse one cached copy instead of rebuilding it per call.
+    ``FlowShopInstance`` hashes by matrix content, which is exactly the
+    key the precomputation depends on.
+    """
+    return BoundData(instance, pair_strategy)
+
 
 def one_machine_bound(
     instance: FlowShopInstance,
     front: Sequence[int],
     remaining: Iterable[int],
+    data: Optional[BoundData] = None,
 ) -> int:
-    """Standalone LB1 (convenience wrapper around :class:`BoundData`)."""
-    data = BoundData(instance, pair_strategy="adjacent")
+    """Standalone LB1 (convenience wrapper around :class:`BoundData`).
+
+    Pass a prebuilt ``data`` to skip the cache lookup entirely; LB1
+    does not use machine pairs, so any strategy's ``BoundData`` works.
+    """
+    if data is None:
+        data = bound_data_for(instance, "adjacent")
     return data.one_machine(
         np.asarray(front, dtype=np.int64), np.asarray(list(remaining), dtype=np.intp)
     )
@@ -172,9 +453,14 @@ def two_machine_bound(
     front: Sequence[int],
     remaining: Iterable[int],
     pair_strategy: str = "all",
+    data: Optional[BoundData] = None,
 ) -> int:
-    """Standalone LB2 (convenience wrapper around :class:`BoundData`)."""
-    data = BoundData(instance, pair_strategy=pair_strategy)
+    """Standalone LB2 (convenience wrapper around :class:`BoundData`).
+
+    A prebuilt ``data`` overrides ``pair_strategy``.
+    """
+    if data is None:
+        data = bound_data_for(instance, pair_strategy)
     return data.two_machine(
         np.asarray(front, dtype=np.int64), np.asarray(list(remaining), dtype=np.intp)
     )

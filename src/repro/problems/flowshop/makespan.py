@@ -25,6 +25,7 @@ from repro.problems.flowshop.instance import FlowShopInstance
 __all__ = [
     "completion_front",
     "advance_front",
+    "advance_fronts_batch",
     "makespan",
     "partial_makespan",
     "tails_matrix",
@@ -51,6 +52,27 @@ def advance_front(
             f = prev
         prev = f + job_times[j]
         out[j] = prev
+    return out
+
+
+def advance_fronts_batch(front: np.ndarray, job_times: np.ndarray) -> np.ndarray:
+    """Completion fronts after appending each of several jobs in turn.
+
+    The batched kernel behind child decomposition: ``job_times`` is the
+    ``(batch, machines)`` stack of processing-time rows of the candidate
+    jobs, and row ``c`` of the result is exactly
+    ``advance_front(front, job_times[c])``.  The recurrence stays
+    sequential in machines (inherent) but vectorises over the batch, so
+    branching a node costs ``M`` NumPy ops instead of ``batch * M``
+    Python-level steps.
+    """
+    times = np.atleast_2d(job_times)
+    batch, m = times.shape
+    out = np.empty((batch, m), dtype=np.int64)
+    np.add(front[0], times[:, 0], out=out[:, 0])
+    for j in range(1, m):
+        np.maximum(out[:, j - 1], front[j], out=out[:, j])
+        out[:, j] += times[:, j]
     return out
 
 

@@ -21,7 +21,7 @@ from repro.core.tree import TreeShape
 from repro.exceptions import ProblemError
 from repro.problems.flowshop.bounds import BoundData
 from repro.problems.flowshop.instance import FlowShopInstance
-from repro.problems.flowshop.makespan import advance_front
+from repro.problems.flowshop.makespan import advance_fronts_batch
 
 __all__ = ["FlowShopProblem", "FlowShopState"]
 
@@ -82,6 +82,24 @@ class FlowShopProblem(Problem):
             "lb2": self.bound_data.two_machine,
             "combined": self.bound_data.combined,
         }[bound]
+        self._batch_bound_fn = {
+            "lb1": self.bound_data.one_machine_children,
+            "lb2": self.bound_data.two_machine_children,
+            "combined": self.bound_data.combined_children,
+        }[bound]
+        # One-slot child-front cache: the engine calls bound_children
+        # then branch on the same state back to back; both need the
+        # (r, M) stack of child fronts, so the second call reuses it.
+        # Keyed by identity with a strong reference, so the id cannot
+        # be recycled while the entry lives.
+        self._fronts_cache: Optional[
+            Tuple[FlowShopState, np.ndarray, np.ndarray]
+        ] = None
+        # Per-child-count index matrices for branch(): row c selects
+        # the remaining vector minus entry c, so the r child remaining
+        # sets come from one fancy gather (allocating an r x r boolean
+        # eye per decomposition is measurable on the hot path).
+        self._rest_idx: dict = {}
 
     # ------------------------------------------------------------------
     # Problem interface
@@ -96,24 +114,58 @@ class FlowShopProblem(Problem):
             remaining=np.arange(self.instance.jobs, dtype=np.intp),
         )
 
+    def _child_fronts(
+        self, state: FlowShopState
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(fronts, p_rem)`` for all children of ``state``, cached once.
+
+        ``fronts`` is the (r, M) stack of child completion fronts and
+        ``p_rem`` the (r, M) processing-time rows of the remaining jobs
+        (shared with the bound kernels, which need the same gather).
+        """
+        cached = self._fronts_cache
+        if cached is not None and cached[0] is state:
+            return cached[1], cached[2]
+        p_rem = self.instance.processing_times[state.remaining]
+        fronts = advance_fronts_batch(state.front, p_rem)
+        self._fronts_cache = (state, fronts, p_rem)
+        return fronts, p_rem
+
     def branch(self, state: FlowShopState, depth: int) -> List[FlowShopState]:
-        p = self.instance.processing_times
-        children = []
         remaining = state.remaining
-        for idx in range(remaining.size):
-            job = int(remaining[idx])
-            front = advance_front(state.front, p[job])
-            children.append(
-                FlowShopState(
-                    scheduled=state.scheduled + (job,),
-                    front=front,
-                    remaining=np.delete(remaining, idx),
-                )
+        r = remaining.size
+        fronts, _ = self._child_fronts(state)
+        # remaining-minus-one for every child in one shot: gather with
+        # the cached diagonal-dropping index matrix.
+        if r > 1:
+            idx = self._rest_idx.get(r)
+            if idx is None:
+                idx = np.nonzero(~np.eye(r, dtype=bool))[1].reshape(r, r - 1)
+                self._rest_idx[r] = idx
+            rests = remaining[idx]
+        else:
+            rests = np.empty((1, 0), dtype=remaining.dtype)
+        scheduled = state.scheduled
+        jobs = remaining.tolist()
+        return [
+            FlowShopState(
+                scheduled=scheduled + (jobs[c],),
+                front=fronts[c],
+                remaining=rests[c],
             )
-        return children
+            for c in range(r)
+        ]
 
     def lower_bound(self, state: FlowShopState, depth: int) -> float:
         return self._bound_fn(state.front, state.remaining)
+
+    def bound_children(self, state: FlowShopState, depth: int) -> np.ndarray:
+        fronts, p_rem = self._child_fronts(state)
+        if self.bound == "combined":
+            return self.bound_data.combined_children(
+                fronts, state.remaining, p_rem
+            )
+        return self._batch_bound_fn(fronts, state.remaining)
 
     def leaf_cost(self, state: FlowShopState) -> float:
         return int(state.front[-1])

@@ -57,20 +57,29 @@ class QAPProblem(Problem):
     def branch(self, state: _QAPState, depth: int) -> List[_QAPState]:
         f = self.instance.flows
         d = self.instance.distances
-        children = []
-        for idx, loc in enumerate(state.free_locations):
-            delta = 0
-            for fac, fac_loc in enumerate(state.assigned):
-                delta += int(f[depth, fac]) * int(d[loc, fac_loc])
-                delta += int(f[fac, depth]) * int(d[fac_loc, loc])
-            children.append(
-                _QAPState(
-                    state.assigned + (loc,),
-                    state.cost + delta,
-                    state.free_locations[:idx] + state.free_locations[idx + 1 :],
-                )
+        free = state.free_locations
+        k = len(state.assigned)
+        if k:
+            # Interaction of (facility `depth` at each free location)
+            # with all assigned facilities, for every child in one
+            # matrix-vector product per direction.
+            assigned_locs = np.array(state.assigned, dtype=np.intp)
+            free_arr = np.array(free, dtype=np.intp)
+            d_block = d[np.ix_(free_arr, assigned_locs)].astype(np.int64)
+            deltas = d_block @ f[depth, :k] + d[
+                np.ix_(assigned_locs, free_arr)
+            ].T.astype(np.int64) @ f[:k, depth]
+            deltas = deltas.tolist()
+        else:
+            deltas = [0] * len(free)
+        return [
+            _QAPState(
+                state.assigned + (loc,),
+                state.cost + int(deltas[idx]),
+                free[:idx] + free[idx + 1 :],
             )
-        return children
+            for idx, loc in enumerate(free)
+        ]
 
     def lower_bound(self, state: _QAPState, depth: int) -> float:
         n = self.instance.size
@@ -101,18 +110,18 @@ class QAPProblem(Problem):
 
         # Gilmore–Lawler term: flows of i to the other unassigned
         # facilities sorted ascending x distances from l to the other
-        # free locations sorted descending (min scalar product).
-        gl = np.zeros((r, r), dtype=np.int64)
-        flows_sorted = np.empty((r, r - 1), dtype=np.int64)
-        dists_sorted = np.empty((r, r - 1), dtype=np.int64)
-        for ui, i in enumerate(unassigned):
-            row = np.delete(f[i, unassigned], ui)
-            flows_sorted[ui] = np.sort(row)
-        for li in range(r):
-            row = np.delete(d[free[li], free], li)
-            dists_sorted[li] = np.sort(row)[::-1]
-        for ui in range(r):
-            gl[ui] = dists_sorted @ flows_sorted[ui]
+        # free locations sorted descending (min scalar product).  The
+        # diagonal-stripped (r, r-1) blocks come from one boolean
+        # reshape each, sorted along the last axis in one call.
+        off_diag = ~np.eye(r, dtype=bool)
+        flows_sorted = np.sort(
+            f[np.ix_(unassigned, unassigned)][off_diag].reshape(r, r - 1),
+            axis=1,
+        ).astype(np.int64)
+        dists_sorted = np.sort(
+            d[np.ix_(free, free)][off_diag].reshape(r, r - 1), axis=1
+        )[:, ::-1].astype(np.int64)
+        gl = flows_sorted @ dists_sorted.T
 
         cost_matrix = interact + gl
         rows, cols = linear_sum_assignment(cost_matrix)

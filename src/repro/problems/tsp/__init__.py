@@ -8,7 +8,9 @@ Public surface::
 from repro.problems.tsp.bounds import (
     best_one_tree_bound,
     one_tree_bound,
+    one_tree_bound_networkx,
     outgoing_edge_bound,
+    outgoing_edge_bound_children,
 )
 from repro.problems.tsp.instance import TSPInstance, random_tsp
 from repro.problems.tsp.problem import TSPProblem, nearest_neighbour_tour
@@ -19,6 +21,8 @@ __all__ = [
     "best_one_tree_bound",
     "nearest_neighbour_tour",
     "one_tree_bound",
+    "one_tree_bound_networkx",
     "outgoing_edge_bound",
+    "outgoing_edge_bound_children",
     "random_tsp",
 ]

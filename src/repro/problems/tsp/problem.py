@@ -8,7 +8,10 @@ paper's interval coding targets.
 The lower bound is the classic outgoing-edge bound: the remaining part
 of the tour must leave the current city once and leave every unvisited
 city once (ending back at city 0), so summing each node's cheapest
-admissible outgoing edge is admissible.
+admissible outgoing edge is admissible.  Bounds are evaluated by the
+vectorised kernels in :mod:`repro.problems.tsp.bounds`; at
+decomposition time all children are bounded by one batched call
+(:meth:`TSPProblem.bound_children`).
 """
 
 from __future__ import annotations
@@ -19,6 +22,10 @@ import numpy as np
 
 from repro.core.problem import Problem
 from repro.core.tree import TreeShape
+from repro.problems.tsp.bounds import (
+    outgoing_edge_bound,
+    outgoing_edge_bound_children,
+)
 from repro.problems.tsp.instance import TSPInstance
 
 __all__ = ["TSPProblem", "nearest_neighbour_tour"]
@@ -39,11 +46,6 @@ class TSPProblem(Problem):
     def __init__(self, instance: TSPInstance):
         self.instance = instance
         self._shape = TreeShape.permutation(instance.cities - 1)
-        d = instance.distances
-        # cheapest incident edge per city, used to close the bound fast
-        masked = d.astype(np.float64)
-        np.fill_diagonal(masked, np.inf)
-        self._min_edge = masked.min(axis=1)
 
     def tree_shape(self) -> TreeShape:
         return self._shape
@@ -54,31 +56,30 @@ class TSPProblem(Problem):
         )
 
     def branch(self, state: _TourState, depth: int) -> List[_TourState]:
-        d = self.instance.distances
-        current = state.path[-1]
-        children = []
-        for idx, city in enumerate(state.remaining):
-            children.append(
-                _TourState(
-                    state.path + (city,),
-                    state.cost + int(d[current, city]),
-                    state.remaining[:idx] + state.remaining[idx + 1 :],
-                )
+        hops = self.instance.distances[state.path[-1]]
+        remaining = state.remaining
+        return [
+            _TourState(
+                state.path + (city,),
+                state.cost + int(hops[city]),
+                remaining[:idx] + remaining[idx + 1 :],
             )
-        return children
+            for idx, city in enumerate(remaining)
+        ]
 
     def lower_bound(self, state: _TourState, depth: int) -> float:
-        d = self.instance.distances
-        remaining = state.remaining
-        if not remaining:
-            return state.cost + int(d[state.path[-1], 0])
-        current = state.path[-1]
-        targets = remaining + (0,)
-        bound = state.cost + min(int(d[current, t]) for t in targets)
-        for u in remaining:
-            others = [t for t in targets if t != u]
-            bound += min(int(d[u, t]) for t in others)
-        return bound
+        if not state.remaining:
+            return state.cost + int(
+                self.instance.distances[state.path[-1], 0]
+            )
+        return outgoing_edge_bound(
+            self.instance, state.path, state.cost, state.remaining
+        )
+
+    def bound_children(self, state: _TourState, depth: int) -> np.ndarray:
+        return outgoing_edge_bound_children(
+            self.instance, state.path, state.cost, state.remaining
+        )
 
     def leaf_cost(self, state: _TourState) -> float:
         return state.cost + int(self.instance.distances[state.path[-1], 0])

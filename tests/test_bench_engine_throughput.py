@@ -1,0 +1,41 @@
+"""Tier-1 smoke test for the engine-throughput benchmark.
+
+Runs ``benchmarks/bench_engine_throughput.py`` at its ``--quick``
+scale on every test run: the point is not the timings but the
+benchmark's built-in verification — both exploration paths must find
+the same optimum with byte-identical node accounting — so the batched
+fast path cannot silently rot.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+from benchmarks.bench_engine_throughput import run_benchmark  # noqa: E402
+
+
+def test_quick_benchmark_paths_agree():
+    report = run_benchmark(quick=True, repeats=1)
+    assert report["configs"], "benchmark produced no configurations"
+    for rec in report["configs"]:
+        # run_benchmark raises on any optimum/accounting mismatch;
+        # double-check the recorded invariants anyway.
+        assert rec["identical_stats"] is True
+        assert rec["nodes_explored"] > 0
+        assert rec["batched"]["nodes_per_sec"] > 0
+        assert rec["scalar"]["nodes_per_sec"] > 0
+    assert report["headline"]["speedup"] == max(
+        rec["speedup"] for rec in report["configs"]
+    )
+
+
+def test_quick_benchmark_covers_both_tree_kinds():
+    report = run_benchmark(quick=True, repeats=1)
+    denominators = {rec["interval_denominator"] for rec in report["configs"]}
+    # One full-tree solve and one interval-restricted solve, so both
+    # engine entry modes stay exercised.
+    assert None in denominators
+    assert any(d is not None for d in denominators)
