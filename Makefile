@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos bench bench-show bench-engine report examples clean
+.PHONY: install test chaos bench bench-show bench-engine bench-parallel report examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -25,6 +25,11 @@ bench-show:
 # Regenerates BENCH_PR2.json (see docs/performance.md).
 bench-engine:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_engine_throughput.py
+
+# Parallel runtime scaling: adaptive slicing, pipelined updates and the
+# shared-memory incumbent at 1/2/4/8 workers.  Regenerates BENCH_PR3.json.
+bench-parallel:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_parallel_scaling.py
 
 report:
 	$(PYTHON) -m repro.cli report

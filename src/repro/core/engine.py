@@ -123,6 +123,17 @@ class IntervalExplorer:
         (the scalar baseline the throughput benchmark compares
         against); ``True`` forces batch calls even on problems that
         may return ``None`` (harmless — each ``None`` falls back).
+    bound_provider:
+        Optional zero-arg callable returning an advisory global upper
+        bound (e.g. a shared-memory incumbent).  Polled every
+        ``bound_poll_nodes`` processed nodes *inside* :meth:`step`, so
+        a bound improvement found elsewhere tightens pruning mid-slice
+        instead of waiting for the next coordination boundary (sharing
+        rule 3, §4.4, without the round-trip).  The provider carries a
+        cost only — adopting it never installs a solution.
+    bound_poll_nodes:
+        How many nodes to explore between provider polls (default 256;
+        ignored without a provider).
     """
 
     def __init__(
@@ -133,6 +144,8 @@ class IntervalExplorer:
         incumbent: Optional[Incumbent] = None,
         on_improvement: Optional[ImprovementCallback] = None,
         batched_bounds: Optional[bool] = None,
+        bound_provider: Optional[Callable[[], float]] = None,
+        bound_poll_nodes: int = 256,
     ):
         self.problem = problem
         if batched_bounds is None:
@@ -148,6 +161,10 @@ class IntervalExplorer:
         self._end = max(interval.end, interval.begin)
         self.incumbent = incumbent.copy() if incumbent is not None else Incumbent()
         self.on_improvement = on_improvement
+        self.bound_provider = bound_provider
+        if bound_poll_nodes < 1:
+            raise EngineError("bound_poll_nodes must be >= 1")
+        self.bound_poll_nodes = bound_poll_nodes
         self.stats = ExplorationStats()
         # Stack ordered by DECREASING node number so list.pop() yields
         # the leftmost (smallest-numbered) frontier node — DFS order.
@@ -289,8 +306,19 @@ class IntervalExplorer:
         batched = self._batched_bounds
         processed = 0
         improved = False
+        provider = self.bound_provider
+        poll = self.bound_poll_nodes if provider is not None else 0
+        countdown = poll
 
         while stack and processed < max_nodes:
+            if poll:
+                countdown -= 1
+                if countdown <= 0:
+                    countdown = poll
+                    shared = provider()
+                    if shared < self.incumbent.cost:
+                        self.incumbent.cost = shared
+                        self.incumbent.solution = None
             entry = stack.pop()
             if entry.number >= self._end:
                 # Stack is sorted by decreasing number: everything still

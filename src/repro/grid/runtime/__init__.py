@@ -15,6 +15,7 @@ Public surface::
     )
 """
 
+from repro.grid.runtime.bbprocess import AdaptiveSlicer
 from repro.grid.runtime.coordinator import Coordinator
 from repro.grid.runtime.faults import (
     ChannelFaults,
@@ -28,8 +29,10 @@ from repro.grid.runtime.launcher import (
     solve_parallel,
 )
 from repro.grid.runtime.protocol import ProblemSpec, flowshop_spec, tsp_spec
+from repro.grid.runtime.shared import SharedBound
 
 __all__ = [
+    "AdaptiveSlicer",
     "ChannelFaults",
     "Coordinator",
     "CoordinatorCrash",
@@ -37,6 +40,7 @@ __all__ = [
     "ParallelResult",
     "ProblemSpec",
     "RuntimeConfig",
+    "SharedBound",
     "WorkerHang",
     "flowshop_spec",
     "solve_parallel",

@@ -2,8 +2,32 @@
 
 Mirrors the simulated worker's session loop (pull work, explore in
 slices, push improvements, update the interval) but against real OS
-queues and a real clock.  The slice is counted in *nodes*, not
-seconds, so test runs with tiny instances stay deterministic.
+queues and a real clock.  Three mechanisms keep exploration — not
+coordination — on the critical path:
+
+* **Adaptive slicing** (:class:`AdaptiveSlicer`): the slice between
+  interval updates is counted in nodes (so tiny test instances stay
+  deterministic) but *sized* toward a wall-clock update period.  Each
+  worker measures its own nodes/sec and grows or shrinks the next
+  slice toward ``update_period`` seconds of exploration — the paper's
+  time-based update done per-worker, so heterogeneous workers all
+  report at the same cadence instead of the fast ones flooding the
+  farmer and the slow ones going silent.
+* **Pipelined interval updates**: the worker sends its ``Update`` and
+  immediately keeps exploring the remainder it just reported (which
+  the coordinator can only *shrink*, never grow — eq. 14), collecting
+  the ``Reconciled`` reply at the next slice boundary.  The update
+  round-trip overlaps a whole slice of exploration; the only work at
+  risk is the tail the farmer gave away meanwhile, which the §4.1
+  invariant makes redundant, never wrong.  At most one RPC is ever in
+  flight, so the PR 1 at-least-once machinery (same-seq retries, the
+  coordinator's per-worker reply cache) carries over unchanged.
+* **Shared incumbent** (:class:`~repro.grid.runtime.shared.SharedBound`):
+  improvements are offered to a shared-memory cell the moment they are
+  found, and the engine polls it mid-slice, so a bound found by any
+  worker tightens pruning in every worker within ``bound_poll_nodes``
+  nodes — no round-trip, no slice boundary.  Advisory only: the
+  coordinator's ``SOLUTION`` remains the source of truth.
 
 Every exchange is an at-least-once RPC: the worker stamps a monotonic
 sequence number on the message, waits ``reply_timeout`` for a reply
@@ -17,9 +41,10 @@ give up and die silently, exactly like a crash.
 from __future__ import annotations
 
 import itertools
+import math
 import queue as queue_mod
 import time
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.core.engine import IntervalExplorer
 from repro.core.interval import Interval
@@ -36,9 +61,158 @@ from repro.grid.runtime.protocol import (
     Update,
 )
 
-__all__ = ["worker_main"]
+__all__ = ["AdaptiveSlicer", "worker_main"]
 
 _BACKOFF_CAP = 8.0  # max multiplier over reply_timeout per attempt
+
+
+class AdaptiveSlicer:
+    """Size exploration slices (in nodes) toward a wall-clock period.
+
+    The controller keeps an exponential moving average of the worker's
+    observed throughput and proposes ``rate × target_period`` nodes for
+    the next slice, clamped to ``[min_nodes, max_nodes]`` and never
+    changing by more than ``max_growth``× per step (so one noisy slice
+    — a pruning burst, a page fault — cannot swing the cadence).  With
+    ``target_period=None`` the slicer degrades to the fixed node count,
+    which is what the deterministic unit tests use.
+    """
+
+    def __init__(
+        self,
+        initial_nodes: int,
+        target_period: Optional[float] = None,
+        min_nodes: int = 64,
+        max_nodes: int = 1 << 20,
+        smoothing: float = 0.5,
+        max_growth: float = 2.0,
+    ):
+        if initial_nodes < 1:
+            raise ValueError("initial_nodes must be >= 1")
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError("smoothing must be in (0, 1]")
+        if max_growth <= 1.0:
+            raise ValueError("max_growth must be > 1")
+        if min_nodes < 1 or max_nodes < min_nodes:
+            raise ValueError("need 1 <= min_nodes <= max_nodes")
+        self.target_period = target_period
+        self.min_nodes = min_nodes
+        self.max_nodes = max_nodes
+        self.smoothing = smoothing
+        self.max_growth = max_growth
+        self._nodes = max(min(initial_nodes, max_nodes), min_nodes)
+        self._rate: Optional[float] = None  # EMA of nodes per second
+
+    @property
+    def rate(self) -> Optional[float]:
+        """Smoothed throughput estimate (nodes/sec), if any yet."""
+        return self._rate
+
+    def next_slice(self) -> int:
+        """Node budget for the coming slice."""
+        return self._nodes
+
+    def observe(self, nodes: int, seconds: float) -> None:
+        """Feed back one slice's measured cost; adapt the next budget."""
+        if self.target_period is None or nodes <= 0 or seconds <= 0.0:
+            return
+        rate = nodes / seconds
+        if self._rate is None:
+            self._rate = rate
+        else:
+            s = self.smoothing
+            self._rate = s * rate + (1.0 - s) * self._rate
+        ideal = self._rate * self.target_period
+        lo = self._nodes / self.max_growth
+        hi = self._nodes * self.max_growth
+        self._nodes = int(
+            min(self.max_nodes, max(self.min_nodes, min(hi, max(lo, ideal))))
+        )
+
+
+class _RpcChannel:
+    """At-least-once RPC over the two queues, with one-deep pipelining.
+
+    ``call`` is the synchronous shape PR 1 shipped: send, wait, retry
+    with the same seq on timeout.  ``send`` + ``collect`` split that
+    into halves so the caller can explore between them; the retry loop
+    simply runs at collect time.  The discipline is *single
+    outstanding*: ``send``/``call`` assert nothing is pending, which
+    keeps every coordinator-side assumption (one cached reply per
+    worker, strictly increasing seqs) intact.
+
+    Time spent blocked on the reply queue is accumulated into
+    ``wait_stats["rpc_wait_seconds"]`` so coordination overhead is a
+    measured number, not an inference.
+    """
+
+    def __init__(
+        self,
+        request_queue,
+        reply_queue,
+        reply_timeout: float,
+        max_retries: int,
+        wait_stats: Dict[str, float],
+    ):
+        self._request_queue = request_queue
+        self._reply_queue = reply_queue
+        self._reply_timeout = reply_timeout
+        self._max_retries = max_retries
+        self._wait_stats = wait_stats
+        self._seq_counter = itertools.count(1)
+        self._pending = None  # message awaiting its reply, or None
+        self.gave_up = False  # a full retry budget expired: farmer gone
+
+    def has_pending(self) -> bool:
+        return self._pending is not None
+
+    def send(self, message) -> None:
+        """Fire an RPC without waiting; its reply is due at ``collect``."""
+        assert self._pending is None, "only one RPC may be in flight"
+        message.seq = next(self._seq_counter)
+        self._pending = message
+        self._request_queue.put(message)
+
+    def collect(self):
+        """Wait for the pending RPC's reply (retrying); None = gave up."""
+        message = self._pending
+        assert message is not None, "collect() without a pending RPC"
+        seq = message.seq
+        timeout = self._reply_timeout
+        for attempt in range(self._max_retries + 1):
+            if attempt:
+                self._request_queue.put(message)  # same seq: dedupable
+            deadline = time.monotonic() + timeout
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                waited_from = time.monotonic()
+                try:
+                    reply = self._reply_queue.get(timeout=remaining)
+                except queue_mod.Empty:
+                    self._wait_stats["rpc_wait_seconds"] += (
+                        time.monotonic() - waited_from
+                    )
+                    break
+                self._wait_stats["rpc_wait_seconds"] += (
+                    time.monotonic() - waited_from
+                )
+                reply_seq = getattr(reply, "seq", 0)
+                if reply_seq in (0, seq):
+                    self._pending = None
+                    return reply
+                # A stale reply from an RPC we already retried past:
+                # discard and keep waiting for the current one.
+            timeout = min(timeout * 2.0, self._reply_timeout * _BACKOFF_CAP)
+        self._pending = None
+        self.gave_up = True
+        return None  # coordinator gone for good: die silently like a crash
+
+    def call(self, message):
+        """Classic synchronous RPC: send then immediately collect."""
+        self.send(message)
+        return self.collect()
 
 
 def worker_main(
@@ -53,8 +227,22 @@ def worker_main(
     crash_after_updates: Optional[int] = None,
     hang_after_updates: Optional[int] = None,
     hang_seconds: float = 0.0,
+    update_period: Optional[float] = None,
+    min_slice_nodes: int = 64,
+    max_slice_nodes: int = 1 << 20,
+    pipeline_updates: bool = True,
+    shared_bound=None,
+    bound_poll_nodes: int = 256,
 ) -> None:
     """Run one B&B process until the coordinator says terminate.
+
+    ``update_nodes`` is the first slice's node budget; with
+    ``update_period`` set, later slices adapt toward that many wall
+    seconds of exploration (see :class:`AdaptiveSlicer`).  With
+    ``pipeline_updates`` the ``Reconciled`` reply of each interval
+    update is collected at the *next* slice boundary instead of
+    immediately.  ``shared_bound`` is the run's advisory
+    :class:`~repro.grid.runtime.shared.SharedBound` (or None).
 
     ``crash_after_updates`` makes the worker exit abruptly (no Bye)
     after that many interval updates; ``hang_after_updates`` makes it
@@ -63,39 +251,35 @@ def worker_main(
     by the chaos suite and the examples.
     """
     problem = spec.build()
-    stats_total = {"nodes": 0, "updates": 0, "allocations": 0, "improvements": 0}
+    stats_total: Dict[str, float] = {
+        "nodes": 0,
+        "updates": 0,
+        "allocations": 0,
+        "improvements": 0,
+        "explore_seconds": 0.0,
+        "rpc_wait_seconds": 0.0,
+    }
     updates_sent = 0
     best = {"cost": float("inf"), "solution": None}
-    seq_counter = itertools.count(1)
+    chan = _RpcChannel(
+        request_queue, reply_queue, reply_timeout, max_retries, stats_total
+    )
+    slicer = AdaptiveSlicer(
+        update_nodes,
+        target_period=update_period,
+        min_nodes=min_slice_nodes,
+        max_nodes=max_slice_nodes,
+    )
+    provider = shared_bound.as_provider() if shared_bound is not None else None
 
-    def rpc(message):
-        seq = next(seq_counter)
-        message.seq = seq
-        timeout = reply_timeout
-        for _attempt in range(max_retries + 1):
-            request_queue.put(message)
-            deadline = time.monotonic() + timeout
-            while True:
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    break
-                try:
-                    reply = reply_queue.get(timeout=remaining)
-                except queue_mod.Empty:
-                    break
-                reply_seq = getattr(reply, "seq", 0)
-                if reply_seq in (0, seq):
-                    return reply
-                # A stale reply from an RPC we already retried past:
-                # drain and keep waiting for the current one.
-            timeout = min(timeout * 2.0, reply_timeout * _BACKOFF_CAP)
-        return None  # coordinator gone for good: die silently like a crash
+    def shared_cost() -> float:
+        return shared_bound.read() if shared_bound is not None else math.inf
 
     def reinform_if_stale(global_best):
         # The coordinator believes something worse than our local best
         # (it recovered from an old checkpoint): push ours again.
         if best["solution"] is not None and global_best > best["cost"]:
-            rpc(Push(worker_id, best["cost"], best["solution"]))
+            chan.call(Push(worker_id, best["cost"], best["solution"]))
 
     def maybe_inject_fault() -> bool:
         """Apply the per-update fault hooks; True means exit now."""
@@ -113,24 +297,67 @@ def worker_main(
         return False
 
     while True:
-        reply = rpc(Request(worker_id, power))
-        if reply is None or isinstance(reply, Terminate):
+        reply = chan.call(Request(worker_id, power))
+        if reply is None:
+            request_queue.put(Bye(worker_id, dict(stats_total)))
+            return
+        if isinstance(reply, Terminate):
             break
         assert isinstance(reply, GrantWork)
         stats_total["allocations"] += 1
         reinform_if_stale(reply.best_cost)
         interval = Interval.from_tuple(reply.interval)
         improvements: list = []
+
+        def on_improvement(cost, solution):
+            improvements.append((cost, solution))
+            if shared_bound is not None:
+                # Broadcast before the Push round-trip: siblings start
+                # pruning against this bound mid-slice.
+                shared_bound.offer(cost)
+
         explorer = IntervalExplorer(
             problem,
             interval,
-            incumbent=Incumbent(min(reply.best_cost, best["cost"]), None),
-            on_improvement=lambda c, s: improvements.append((c, s)),
+            incumbent=Incumbent(
+                min(reply.best_cost, best["cost"], shared_cost()), None
+            ),
+            on_improvement=on_improvement,
+            bound_provider=provider,
+            bound_poll_nodes=bound_poll_nodes,
         )
+
+        def collect_reconciled() -> str:
+            """Retire the in-flight Update; apply its reconciliation.
+
+            Returns ``"ok"``, ``"terminate"``, ``"crash"`` (fault hook
+            fired) or ``"dead"`` (coordinator unreachable).
+            """
+            nonlocal updates_sent
+            reconciled = chan.collect()
+            if reconciled is None:
+                return "dead"
+            stats_total["updates"] += 1
+            updates_sent += 1
+            if maybe_inject_fault():
+                return "crash"
+            if isinstance(reconciled, Terminate):
+                return "terminate"
+            assert isinstance(reconciled, Reconciled)
+            reinform_if_stale(reconciled.best_cost)
+            explorer.apply_interval(Interval.from_tuple(reconciled.interval))
+            explorer.set_upper_bound(reconciled.best_cost, None)
+            return "ok"
+
         terminate = False
         while not explorer.is_finished():
             before = explorer.remaining_interval()
-            report = explorer.step(update_nodes)
+            explorer.set_upper_bound(shared_cost(), None)
+            slice_started = time.monotonic()
+            report = explorer.step(slicer.next_slice())
+            slice_seconds = time.monotonic() - slice_started
+            stats_total["explore_seconds"] += slice_seconds
+            slicer.observe(report.nodes_processed, slice_seconds)
             after = explorer.remaining_interval()
             consumed = max(
                 0, min(after.begin, before.end) - before.begin
@@ -139,19 +366,29 @@ def worker_main(
                 consumed = before.length
             stats_total["nodes"] += report.nodes_processed
 
+            # The previous boundary's Update overlapped this slice;
+            # reconcile it before talking to the coordinator again.
+            if chan.has_pending():
+                outcome = collect_reconciled()
+                if outcome in ("dead", "crash"):
+                    return
+                if outcome == "terminate":
+                    terminate = True
+                    break
+
             if improvements:
                 cost, solution = improvements[-1]
                 improvements.clear()
                 stats_total["improvements"] += 1
                 if cost < best["cost"]:
                     best["cost"], best["solution"] = cost, solution
-                ack = rpc(Push(worker_id, cost, solution))
+                ack = chan.call(Push(worker_id, cost, solution))
                 if ack is None:
                     return
                 if isinstance(ack, Ack):
                     explorer.set_upper_bound(ack.best_cost, None)
 
-            reconciled = rpc(
+            chan.send(
                 Update(
                     worker_id,
                     explorer.remaining_interval().as_tuple(),
@@ -159,20 +396,28 @@ def worker_main(
                     consumed=consumed,
                 )
             )
-            if reconciled is None:
+            if not pipeline_updates:
+                outcome = collect_reconciled()
+                if outcome in ("dead", "crash"):
+                    return
+                if outcome == "terminate":
+                    terminate = True
+                    break
+
+        # Exploration (or a cut) ended with one Update still in flight:
+        # its reply must be retired before the next RPC goes out.
+        if chan.has_pending():
+            outcome = collect_reconciled()
+            if outcome in ("dead", "crash"):
                 return
-            stats_total["updates"] += 1
-            updates_sent += 1
-            if maybe_inject_fault():
-                return
-            if isinstance(reconciled, Terminate):
+            if outcome == "terminate":
                 terminate = True
-                break
-            assert isinstance(reconciled, Reconciled)
-            reinform_if_stale(reconciled.best_cost)
-            explorer.apply_interval(Interval.from_tuple(reconciled.interval))
-            explorer.set_upper_bound(reconciled.best_cost, None)
         if terminate:
             break
 
-    request_queue.put(Bye(worker_id, stats_total))
+    # Best-effort acknowledged goodbye: routed through the retry helper
+    # so a dropped Bye under a lossy channel is re-sent (same seq, so
+    # the coordinator dedups) instead of stalling the run until the
+    # process sentinel notices the exit.  If every retry times out the
+    # worker leaves anyway — the sentinel path still covers it.
+    chan.call(Bye(worker_id, dict(stats_total)))

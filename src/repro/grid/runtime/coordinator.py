@@ -150,7 +150,10 @@ class Coordinator:
             return self._on_push(message)
         if isinstance(message, Bye):
             self.byes[message.worker] = message.stats
-            return None
+            # Best-effort ack so the worker's retry helper can stop
+            # re-sending; a legacy unsequenced Bye (seq 0) gets one
+            # too, which the launcher simply never delivers.
+            return Ack(self.solution.cost)
         raise RuntimeProtocolError(
             f"coordinator cannot handle {type(message).__name__}"
         )

@@ -21,6 +21,16 @@ are exercised where they matter:
 Every fault is safe by the interval-set invariant: the union of
 coordinator copies always covers all unexplored work, so the worst a
 fault can cost is re-exploration.
+
+Since PR 3 the chaos harness runs against the pipelined hot path by
+default: workers keep an interval update in flight while exploring, so
+a coordinator crash, drop, or reorder routinely lands on a pipelined
+``Update`` whose ``Reconciled`` reply is still owed — the retry (same
+seq) must ride out the fault and reconcile against whatever state the
+coordinator recovered.  The shared-memory incumbent is deliberately
+out of scope for fault injection: it is advisory (a cost, never the
+answer), so the worst a corrupted read could cost is pruning, and its
+monotonic-min writes are atomic under the cell's lock.
 """
 
 from __future__ import annotations

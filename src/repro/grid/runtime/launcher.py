@@ -4,7 +4,13 @@
 in the parent process, forks ``workers`` B&B processes, routes queue
 messages until the termination condition (INTERVALS empty) is reached
 and every live worker said goodbye, and returns the proved optimum
-with aggregate statistics.
+with aggregate statistics.  The pump wakes on traffic (or every
+``poll_interval`` seconds) and batch-drains the whole request queue
+per wake, so pipelining workers never serialize behind the poll; a
+shared-memory advisory bound (:class:`~repro.grid.runtime.shared.SharedBound`)
+broadcasts incumbent improvements to every worker without a
+round-trip, while the coordinator's ``SOLUTION`` stays the source of
+truth for the answer.
 
 Worker death is detected two ways: process sentinels (a worker that
 exits without a Bye gets its interval released) and, when
@@ -30,7 +36,7 @@ import tempfile
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.checkpoint import CheckpointStore
 from repro.core.interval import Interval
@@ -45,16 +51,41 @@ from repro.grid.runtime.faults import (
     LossySender,
 )
 from repro.grid.runtime.protocol import Bye, ProblemSpec
+from repro.grid.runtime.shared import SharedBound
 
 __all__ = ["RuntimeConfig", "ParallelResult", "solve_parallel"]
 
 
 @dataclass
 class RuntimeConfig:
-    """Tuning of a parallel run."""
+    """Tuning of a parallel run.
+
+    ``update_nodes`` is the *first* slice's node budget; with
+    ``update_period`` set (the default), each worker then adapts its
+    slice size toward that many wall-clock seconds of exploration per
+    interval update (``update_period=None`` restores the fixed-size
+    slices).  ``pipeline_updates`` overlaps each Update round-trip
+    with the next slice of exploration; ``shared_incumbent`` maps a
+    shared-memory advisory bound into every process, polled mid-slice
+    every ``bound_poll_nodes`` nodes.  ``poll_interval`` is the
+    coordinator pump's queue wait — each wake batch-drains everything
+    queued, so it bounds idle latency, not throughput.
+
+    ``root_interval`` restricts the run to one ``(begin, end)`` slice
+    of the tree's leaf numbering (the paper's work unit) instead of the
+    full range — the parallel counterpart of ``solve(..., interval=…)``;
+    the proved optimum is then the optimum over that slice.
+    """
 
     workers: int = 2
-    update_nodes: int = 2000  # slice size between interval updates
+    update_nodes: int = 2000  # first slice size between interval updates
+    update_period: Optional[float] = 0.25  # target seconds per slice
+    min_slice_nodes: int = 64
+    max_slice_nodes: int = 1 << 20
+    pipeline_updates: bool = True
+    shared_incumbent: bool = True
+    bound_poll_nodes: int = 256
+    poll_interval: float = 0.05  # coordinator pump queue wait
     duplication_threshold: int = 64
     checkpoint_dir: Optional[Path] = None
     checkpoint_period: float = 2.0
@@ -64,6 +95,7 @@ class RuntimeConfig:
     reply_timeout: float = 60.0  # worker RPC wait before a retry
     max_retries: int = 2  # RPC retries (same seq, capped backoff)
     lease_seconds: Optional[float] = None  # silent-owner expiry (off by default)
+    root_interval: Optional[Tuple[int, int]] = None  # leaf slice to solve
     crash_workers: Dict[int, int] = field(default_factory=dict)
     # worker index -> crash after that many updates (fault injection)
     fault_plan: Optional[FaultPlan] = None
@@ -82,12 +114,17 @@ class ParallelResult:
     checkpoint_operations: int
     nodes_explored: int
     redundant_rate: float
-    worker_stats: Dict[str, Dict[str, int]]
+    worker_stats: Dict[str, Dict[str, float]]
     crashed_workers: List[str]
     coordinator_restarts: int = 0
     leases_expired: List[str] = field(default_factory=list)
     duplicates_ignored: int = 0
     faults_injected: Dict[str, int] = field(default_factory=dict)
+    # Aggregate coordination-overhead breakdown, summed over the
+    # workers that said goodbye: wall seconds spent exploring vs wall
+    # seconds blocked waiting on RPC replies.
+    explore_seconds: float = 0.0
+    rpc_wait_seconds: float = 0.0
 
 
 def solve_parallel(spec: ProblemSpec, config: Optional[RuntimeConfig] = None) -> ParallelResult:
@@ -103,6 +140,14 @@ def solve_parallel(spec: ProblemSpec, config: Optional[RuntimeConfig] = None) ->
     problem = spec.build()
     total_leaves = problem.total_leaves()
     root = Interval(0, total_leaves)
+    if config.root_interval is not None:
+        root = Interval.from_tuple(config.root_interval).intersect(root)
+        if root.is_empty():
+            raise RuntimeProtocolError(
+                f"root_interval {config.root_interval} does not overlap "
+                f"[0, {total_leaves})"
+            )
+        total_leaves = root.length
     checkpoint_dir = config.checkpoint_dir
     temp_ckpt: Optional[tempfile.TemporaryDirectory] = None
     if checkpoint_dir is None and plan.coordinator_crashes:
@@ -127,6 +172,11 @@ def solve_parallel(spec: ProblemSpec, config: Optional[RuntimeConfig] = None) ->
     )
 
     ctx = mp.get_context("fork") if hasattr(mp, "get_context") else mp
+    shared_bound = (
+        SharedBound(config.initial_upper_bound, ctx=ctx)
+        if config.shared_incumbent
+        else None
+    )
     request_queue = ctx.Queue()
     fault_stats = FaultStats()
     fault_rng = random.Random(plan.seed)
@@ -159,6 +209,12 @@ def solve_parallel(spec: ProblemSpec, config: Optional[RuntimeConfig] = None) ->
                 "crash_after_updates": crash_workers.get(i),
                 "hang_after_updates": hang.after_updates if hang else None,
                 "hang_seconds": hang.seconds if hang else 0.0,
+                "update_period": config.update_period,
+                "min_slice_nodes": config.min_slice_nodes,
+                "max_slice_nodes": config.max_slice_nodes,
+                "pipeline_updates": config.pipeline_updates,
+                "shared_bound": shared_bound,
+                "bound_poll_nodes": config.bound_poll_nodes,
             },
             daemon=True,
         )
@@ -210,7 +266,7 @@ def solve_parallel(spec: ProblemSpec, config: Optional[RuntimeConfig] = None) ->
 
             coordinator.maybe_checkpoint()
             try:
-                message = receiver.get(timeout=0.05)
+                message = receiver.get(timeout=config.poll_interval)
             except queue_mod.Empty:
                 coordinator.check_leases()
                 for sender in senders.values():
@@ -225,27 +281,43 @@ def solve_parallel(spec: ProblemSpec, config: Optional[RuntimeConfig] = None) ->
                         crashed.append(worker_id)
                         coordinator.release_worker(worker_id)
                 continue
-            reply = coordinator.handle(message)
-            messages_handled += 1
-            if isinstance(message, Bye):
-                done_workers.add(message.worker)
-                if message.worker in crashed:
-                    crashed.remove(message.worker)  # late Bye won the race
-                continue
-            if reply is not None:
-                senders[message.worker].put(reply)
-            if (
-                next_crash is not None
-                and messages_handled >= next_crash.after_messages
-            ):
-                # Crash the farmer: in-memory INTERVALS, SOLUTION, and
-                # the sequence cache are gone; only the checkpoint
-                # files survive the downtime.
-                coordinator.maybe_checkpoint()  # periodic save, not a flush
-                down_until = time.monotonic() + next_crash.downtime
-                next_crash = (
-                    crash_schedule.pop(0) if crash_schedule else None
-                )
+            # Batch-drain: one wake handles *everything* already queued
+            # instead of one message per poll, so N pipelining workers
+            # never serialize behind the poll interval.
+            batch = [message]
+            while True:
+                try:
+                    batch.append(receiver.get(timeout=0))
+                except queue_mod.Empty:
+                    break
+            for message in batch:
+                reply = coordinator.handle(message)
+                messages_handled += 1
+                if isinstance(message, Bye):
+                    done_workers.add(message.worker)
+                    if message.worker in crashed:
+                        crashed.remove(message.worker)  # late Bye won the race
+                if reply is not None:
+                    senders[message.worker].put(reply)
+                if (
+                    next_crash is not None
+                    and messages_handled >= next_crash.after_messages
+                ):
+                    # Crash the farmer: in-memory INTERVALS, SOLUTION,
+                    # and the sequence cache are gone; only the
+                    # checkpoint files survive the downtime — and the
+                    # rest of this batch is lost with the process.
+                    coordinator.maybe_checkpoint()  # periodic, not a flush
+                    down_until = time.monotonic() + next_crash.downtime
+                    next_crash = (
+                        crash_schedule.pop(0) if crash_schedule else None
+                    )
+                    break
+            if shared_bound is not None:
+                # Keep the advisory cell at least as tight as SOLUTION
+                # (it can be tighter: workers write before pushing).
+                shared_bound.offer(coordinator.solution.cost)
+            coordinator.check_leases()
     finally:
         coordinator.maybe_checkpoint(force=True)
         for sender in senders.values():
@@ -262,6 +334,12 @@ def solve_parallel(spec: ProblemSpec, config: Optional[RuntimeConfig] = None) ->
     duplicates_ignored += coordinator.duplicates_ignored
     leases_expired.extend(coordinator.leases_expired)
     optimal = coordinator.intervals.is_empty()
+    explore_seconds = sum(
+        s.get("explore_seconds", 0.0) for s in coordinator.byes.values()
+    )
+    rpc_wait_seconds = sum(
+        s.get("rpc_wait_seconds", 0.0) for s in coordinator.byes.values()
+    )
     return ParallelResult(
         cost=coordinator.solution.cost,
         solution=coordinator.solution.solution,
@@ -278,4 +356,6 @@ def solve_parallel(spec: ProblemSpec, config: Optional[RuntimeConfig] = None) ->
         leases_expired=leases_expired,
         duplicates_ignored=duplicates_ignored,
         faults_injected=fault_stats.as_dict(),
+        explore_seconds=explore_seconds,
+        rpc_wait_seconds=rpc_wait_seconds,
     )

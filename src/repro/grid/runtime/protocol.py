@@ -115,11 +115,19 @@ class Push:
 class Bye:
     """Graceful exit after a terminate reply; carries final stats.
 
-    Fire-and-forget (no reply expected), hence no sequence number.
+    Acknowledged with an :class:`Ack` and routed through the worker's
+    RPC retry helper (best effort): a dropped Bye under a lossy channel
+    is re-sent with the same seq instead of stalling the run until the
+    process sentinel notices the exit.  ``seq == 0`` marks the legacy
+    fire-and-forget form, still accepted (no reply is awaited).
+
+    ``stats`` carries integer counters plus the measured
+    ``explore_seconds`` / ``rpc_wait_seconds`` breakdown.
     """
 
     worker: str
-    stats: Dict[str, int]
+    stats: Dict[str, float]
+    seq: int = 0
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,64 @@
+"""Shared-memory incumbent broadcast for the multiprocessing runtime.
+
+The paper's sharing rules (§4.4) propagate bound improvements through
+the coordinator: a worker pushes, the farmer acks, and *other* workers
+only learn the new bound at their next slice boundary.  PR 2 made
+slices cheap enough that this boundary-only propagation became a real
+pruning tax — a worker can burn a whole slice expanding nodes that a
+sibling's two-seconds-old incumbent would have pruned.
+
+:class:`SharedBound` closes that window with one ``multiprocessing.Value``
+(a single double) mapped into every process:
+
+* **monotonic-min** — :meth:`offer` only ever lowers the stored cost,
+  under the value's lock, so concurrent writers can never regress it;
+* **advisory only** — it carries a *cost*, never a solution.  The
+  coordinator's ``SOLUTION`` stays the single source of truth for the
+  answer; a worker that reads a tighter shared cost prunes harder but
+  still proves the same optimum (pruning against any valid upper bound
+  is sound).  Losing every shared write would cost pruning, never
+  correctness.
+
+Workers write on every local improvement (mid-slice, before the Push
+round-trip) and read both at slice boundaries and mid-slice through the
+engine's ``bound_provider`` hook, so a bound found anywhere tightens
+pruning everywhere within ``bound_poll_nodes`` nodes.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing as mp
+from typing import Optional
+
+__all__ = ["SharedBound"]
+
+
+class SharedBound:
+    """A monotonic-min cost cell shared by every process of a run."""
+
+    def __init__(self, initial: float = math.inf, ctx=None):
+        if ctx is None:
+            ctx = mp.get_context("fork") if hasattr(mp, "get_context") else mp
+        self._cell = ctx.Value("d", float(initial))
+
+    def read(self) -> float:
+        """Current advisory upper bound (``inf`` when none known)."""
+        return self._cell.value
+
+    def offer(self, cost: float) -> bool:
+        """Lower the bound to ``cost`` if it improves; report whether it did.
+
+        Atomic under the cell's lock: with any number of concurrent
+        writers the stored value is always the min of everything
+        offered so far (never an intermediate or stale overwrite).
+        """
+        with self._cell.get_lock():
+            if cost < self._cell.value:
+                self._cell.value = cost
+                return True
+        return False
+
+    def as_provider(self):
+        """A zero-arg callable reading the bound — the engine-hook shape."""
+        return self.read

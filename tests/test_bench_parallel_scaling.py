@@ -1,0 +1,46 @@
+"""Tier-1 smoke test for the parallel-scaling benchmark.
+
+Runs ``benchmarks/bench_parallel_scaling.py`` at its ``--quick`` scale
+(2 workers) on every test run: the point is not the timings but the
+benchmark's built-in verification — every parallel configuration,
+pipelined and legacy, must prove exactly the optimum the serial engine
+proves — so the coordination hot path cannot silently rot.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+from benchmarks.bench_parallel_scaling import run_benchmark  # noqa: E402
+
+
+def test_quick_benchmark_proves_serial_optimum_everywhere():
+    report = run_benchmark(quick=True)
+    assert report["scaling"], "benchmark produced no configurations"
+    serial_cost = report["workload"]["serial_cost"]
+    for rec in report["scaling"]:
+        # run_benchmark raises on any optimum mismatch; double-check
+        # the recorded invariants anyway.
+        assert rec["serial_identical_optimum"] is True
+        assert rec["cost"] == serial_cost
+        assert rec["nodes_explored"] > 0
+        assert rec["nodes_per_sec"] > 0
+    assert report["scaling"][0]["workers"] == 1
+    assert report["scaling"][0]["speedup_vs_1_worker"] == 1.0
+
+
+def test_quick_benchmark_records_coordination_breakdown():
+    report = run_benchmark(quick=True, worker_counts=[2])
+    (rec,) = report["scaling"]
+    assert len(rec["worker_breakdown"]) == 2
+    for row in rec["worker_breakdown"]:
+        assert row["explore_seconds"] > 0.0
+        assert row["rpc_wait_seconds"] >= 0.0
+        assert 0.0 <= row["rpc_wait_share"] <= 1.0
+    tax = report["coordination_tax"]
+    assert tax["workers"] == 2
+    assert tax["legacy_run"]["mode"] == "legacy"
+    assert tax["legacy_run"]["cost"] == report["workload"]["serial_cost"]

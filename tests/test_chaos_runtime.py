@@ -68,10 +68,20 @@ def tsp_expected(tsp_instance):
 
 
 def chaos_config(plan: FaultPlan) -> RuntimeConfig:
-    """Aggressive-but-bounded knobs so injected faults resolve fast."""
+    """Aggressive-but-bounded knobs so injected faults resolve fast.
+
+    The PR 3 hot-path machinery — pipelined updates, adaptive slicing,
+    the shared-memory incumbent — is explicitly ON, with the adaptive
+    range clamped small so tiny instances still produce many slices
+    (every fault needs boundaries to fire at).
+    """
     return RuntimeConfig(
         workers=CHAOS_WORKERS,
         update_nodes=200,
+        update_period=0.05,  # adaptive, but re-targeted every 50 ms
+        max_slice_nodes=400,  # keep many boundaries on tiny instances
+        pipeline_updates=True,
+        shared_incumbent=True,
         checkpoint_period=0.0,  # every pump iteration persists
         deadline=90,
         reply_timeout=0.4,
@@ -161,6 +171,32 @@ class TestTargetedFaults:
         # The hang (1.5s) dwarfs the lease (0.6s): the silent worker's
         # interval must have been released to the load balancer.
         assert "worker-0" in result.leases_expired
+
+    @pytest.mark.timeout(120)
+    def test_coordinator_crash_with_pipelined_updates_in_flight(
+        self, fs_instance, fs_expected
+    ):
+        # Tiny slices + pipelining mean each worker almost always has
+        # an un-reconciled Update in flight; crashing the farmer early
+        # (and again mid-run) lands the downtime exactly on those
+        # pipelined replies.  The workers' same-seq retries must ride
+        # out the downtime and reconcile against the recovered state.
+        plan = FaultPlan(
+            coordinator_crashes=[
+                CoordinatorCrash(after_messages=3, downtime=0.3),
+                CoordinatorCrash(after_messages=15, downtime=0.2),
+            ],
+            channel=ChannelFaults(drop=0.05, duplicate=0.05, delay=0.05),
+            seed=31,
+        )
+        config = chaos_config(plan)
+        config.update_nodes = 50
+        config.max_slice_nodes = 100
+        assert config.pipeline_updates  # the path under test
+        result = solve_parallel(flowshop_spec(fs_instance), config)
+        assert result.coordinator_restarts >= 1
+        assert result.optimal
+        assert result.cost == fs_expected
 
     @pytest.mark.timeout(120)
     def test_lossy_channel_only(self, tsp_instance, tsp_expected):

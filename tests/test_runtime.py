@@ -78,6 +78,21 @@ class TestCoordinatorUnit:
         with pytest.raises(RuntimeProtocolError):
             self.make().handle("banana")
 
+    def test_bye_is_acknowledged(self):
+        from repro.grid.runtime.protocol import Bye
+
+        coord = self.make()
+        coord.handle(Push("w0", 42.0, (1, 2, 3)))
+        ack = coord.handle(Bye("w0", {"nodes": 7}, seq=3))
+        assert isinstance(ack, Ack)
+        assert ack.best_cost == 42.0
+        assert ack.seq == 3
+        assert coord.byes["w0"] == {"nodes": 7}
+        # a retried Bye (same seq) is answered from the cache
+        again = coord.handle(Bye("w0", {"nodes": 7}, seq=3))
+        assert isinstance(again, Ack)
+        assert coord.duplicates_ignored == 1
+
     def test_checkpoint_and_recover(self, tmp_path):
         store = CheckpointStore(tmp_path)
         coord = Coordinator(Interval(0, 720), store=store, checkpoint_period=0.0)
@@ -191,6 +206,58 @@ class TestParallelSolve:
         assert set(result.worker_stats) == {"worker-0", "worker-1"}
         assert result.nodes_explored > 0
         assert result.checkpoint_operations > 0
+
+    def test_explore_vs_rpc_wait_breakdown_surfaced(self, fs_instance):
+        result = solve_parallel(
+            flowshop_spec(fs_instance),
+            RuntimeConfig(workers=2, update_nodes=500, deadline=120),
+        )
+        for stats in result.worker_stats.values():
+            assert stats["explore_seconds"] > 0.0
+            assert stats["rpc_wait_seconds"] >= 0.0
+        assert result.explore_seconds == pytest.approx(
+            sum(s["explore_seconds"] for s in result.worker_stats.values())
+        )
+        assert result.rpc_wait_seconds == pytest.approx(
+            sum(s["rpc_wait_seconds"] for s in result.worker_stats.values())
+        )
+
+    def test_legacy_coordination_mode_matches_sequential(
+        self, fs_instance, fs_expected
+    ):
+        # Fixed slices, synchronous updates, no shared incumbent — the
+        # pre-PR 3 coordination shape must stay available and correct.
+        result = solve_parallel(
+            flowshop_spec(fs_instance),
+            RuntimeConfig(
+                workers=2,
+                update_nodes=500,
+                update_period=None,
+                pipeline_updates=False,
+                shared_incumbent=False,
+                deadline=120,
+            ),
+        )
+        assert result.optimal
+        assert result.cost == fs_expected
+
+    def test_pipelined_adaptive_shared_matches_sequential(
+        self, fs_instance, fs_expected
+    ):
+        result = solve_parallel(
+            flowshop_spec(fs_instance),
+            RuntimeConfig(
+                workers=3,
+                update_nodes=100,
+                update_period=0.05,
+                pipeline_updates=True,
+                shared_incumbent=True,
+                bound_poll_nodes=32,
+                deadline=120,
+            ),
+        )
+        assert result.optimal
+        assert result.cost == fs_expected
 
     def test_zero_workers_rejected(self, fs_instance):
         with pytest.raises(RuntimeProtocolError):
