@@ -23,11 +23,15 @@ coordination — on the critical path:
   flight, so the PR 1 at-least-once machinery (same-seq retries, the
   coordinator's per-worker reply cache) carries over unchanged.
 * **Shared incumbent** (:class:`~repro.grid.runtime.shared.SharedBound`):
-  improvements are offered to a shared-memory cell the moment they are
-  found, and the engine polls it mid-slice, so a bound found by any
-  worker tightens pruning in every worker within ``bound_poll_nodes``
-  nodes — no round-trip, no slice boundary.  Advisory only: the
-  coordinator's ``SOLUTION`` remains the source of truth.
+  the engine polls a shared-memory cost cell mid-slice, so a bound
+  pushed by any worker tightens pruning in every worker within
+  ``bound_poll_nodes`` nodes of the launcher broadcasting it — no
+  round-trip, no slice boundary.  Workers are strictly *readers*: only
+  the launcher writes the cell, and only with costs whose solutions
+  the coordinator already holds.  A worker must never offer its own
+  improvement before the Push is secured — if it crashed in between,
+  the cost would keep pruning the equal-cost optimum everywhere while
+  the solution itself was lost, turning a crash into a wrong answer.
 
 Every exchange is an at-least-once RPC: the worker stamps a monotonic
 sequence number on the message, waits ``reply_timeout`` for a reply
@@ -74,8 +78,9 @@ class AdaptiveSlicer:
     the next slice, clamped to ``[min_nodes, max_nodes]`` and never
     changing by more than ``max_growth``× per step (so one noisy slice
     — a pruning burst, a page fault — cannot swing the cadence).  With
-    ``target_period=None`` the slicer degrades to the fixed node count,
-    which is what the deterministic unit tests use.
+    ``target_period=None`` the slicer degrades to exactly the fixed
+    ``initial_nodes`` count (the clamp range only constrains adaptive
+    steps), which is what the deterministic unit tests use.
     """
 
     def __init__(
@@ -100,7 +105,12 @@ class AdaptiveSlicer:
         self.max_nodes = max_nodes
         self.smoothing = smoothing
         self.max_growth = max_growth
-        self._nodes = max(min(initial_nodes, max_nodes), min_nodes)
+        if target_period is None:
+            # Fixed mode: honor the requested size exactly, even below
+            # min_nodes — the clamps only bound adaptive steps.
+            self._nodes = initial_nodes
+        else:
+            self._nodes = max(min(initial_nodes, max_nodes), min_nodes)
         self._rate: Optional[float] = None  # EMA of nodes per second
 
     @property
@@ -310,11 +320,12 @@ def worker_main(
         improvements: list = []
 
         def on_improvement(cost, solution):
+            # Deliberately NOT offered to shared_bound here: the cell
+            # must only ever hold costs the coordinator has a solution
+            # for, or a crash before the Push would leave a bound that
+            # prunes the optimum everywhere with its solution lost.
+            # The launcher broadcasts it once the Push is handled.
             improvements.append((cost, solution))
-            if shared_bound is not None:
-                # Broadcast before the Push round-trip: siblings start
-                # pruning against this bound mid-slice.
-                shared_bound.offer(cost)
 
         explorer = IntervalExplorer(
             problem,

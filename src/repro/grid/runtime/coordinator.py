@@ -152,7 +152,8 @@ class Coordinator:
             self.byes[message.worker] = message.stats
             # Best-effort ack so the worker's retry helper can stop
             # re-sending; a legacy unsequenced Bye (seq 0) gets one
-            # too, which the launcher simply never delivers.
+            # too — the launcher still delivers it, but the worker has
+            # already exited, so it sits unread in the reply queue.
             return Ack(self.solution.cost)
         raise RuntimeProtocolError(
             f"coordinator cannot handle {type(message).__name__}"

@@ -29,8 +29,10 @@ a coordinator crash, drop, or reorder routinely lands on a pipelined
 seq) must ride out the fault and reconcile against whatever state the
 coordinator recovered.  The shared-memory incumbent is deliberately
 out of scope for fault injection: it is advisory (a cost, never the
-answer), so the worst a corrupted read could cost is pruning, and its
-monotonic-min writes are atomic under the cell's lock.
+answer), its monotonic-min writes are atomic under the cell's lock,
+and the launcher is its sole writer — only costs whose solutions the
+coordinator already holds ever enter the cell, so no crash schedule
+can leave it pruning against a solution nobody has.
 """
 
 from __future__ import annotations

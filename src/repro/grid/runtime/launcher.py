@@ -234,6 +234,9 @@ def solve_parallel(spec: ProblemSpec, config: Optional[RuntimeConfig] = None) ->
     started = time.monotonic()
     done_workers: set = set()
     crashed: List[str] = []
+    # Bye stats survive coordinator restarts here (recover() starts
+    # with an empty byes dict), like done_workers does.
+    byes: Dict[str, Dict[str, float]] = {}
     try:
         while len(done_workers) < len(processes):
             now = time.monotonic()
@@ -254,6 +257,7 @@ def solve_parallel(spec: ProblemSpec, config: Optional[RuntimeConfig] = None) ->
                     continue
                 duplicates_ignored += coordinator.duplicates_ignored
                 leases_expired.extend(coordinator.leases_expired)
+                byes.update(coordinator.byes)
                 coordinator = Coordinator.recover(
                     store,
                     root,
@@ -314,8 +318,9 @@ def solve_parallel(spec: ProblemSpec, config: Optional[RuntimeConfig] = None) ->
                     )
                     break
             if shared_bound is not None:
-                # Keep the advisory cell at least as tight as SOLUTION
-                # (it can be tighter: workers write before pushing).
+                # Sole writer of the advisory cell: broadcast SOLUTION
+                # only after its Push was handled, so the cell never
+                # holds a cost whose solution could die with a worker.
                 shared_bound.offer(coordinator.solution.cost)
             coordinator.check_leases()
     finally:
@@ -333,12 +338,13 @@ def solve_parallel(spec: ProblemSpec, config: Optional[RuntimeConfig] = None) ->
 
     duplicates_ignored += coordinator.duplicates_ignored
     leases_expired.extend(coordinator.leases_expired)
+    byes.update(coordinator.byes)
     optimal = coordinator.intervals.is_empty()
     explore_seconds = sum(
-        s.get("explore_seconds", 0.0) for s in coordinator.byes.values()
+        s.get("explore_seconds", 0.0) for s in byes.values()
     )
     rpc_wait_seconds = sum(
-        s.get("rpc_wait_seconds", 0.0) for s in coordinator.byes.values()
+        s.get("rpc_wait_seconds", 0.0) for s in byes.values()
     )
     return ParallelResult(
         cost=coordinator.solution.cost,
@@ -350,7 +356,7 @@ def solve_parallel(spec: ProblemSpec, config: Optional[RuntimeConfig] = None) ->
         checkpoint_operations=coordinator.worker_checkpoint_ops,
         nodes_explored=coordinator.nodes_explored,
         redundant_rate=coordinator.redundant_rate(total_leaves),
-        worker_stats=dict(coordinator.byes),
+        worker_stats=dict(byes),
         crashed_workers=crashed,
         coordinator_restarts=coordinator_restarts,
         leases_expired=leases_expired,

@@ -19,10 +19,15 @@ sibling's two-seconds-old incumbent would have pruned.
   is sound).  Losing every shared write would cost pruning, never
   correctness.
 
-Workers write on every local improvement (mid-slice, before the Push
-round-trip) and read both at slice boundaries and mid-slice through the
-engine's ``bound_provider`` hook, so a bound found anywhere tightens
-pruning everywhere within ``bound_poll_nodes`` nodes.
+Workers only ever *read* the cell — at slice boundaries and mid-slice
+through the engine's ``bound_provider`` hook.  The launcher is the sole
+writer, broadcasting ``SOLUTION``'s cost after each handled batch, so
+the cell never holds a cost the coordinator lacks a solution for.  (A
+worker offering its own improvement before the Push round-trip would
+break that: if it crashed in the window, the orphaned cost would keep
+pruning the equal-cost optimum in every sibling while the solution died
+with the worker.)  A bound pushed anywhere still tightens pruning
+everywhere within ``bound_poll_nodes`` nodes of the broadcast.
 """
 
 from __future__ import annotations

@@ -93,6 +93,15 @@ class TestAdaptiveSlicer:
             slicer.observe(300, 1e-4)  # blazing fast: would grow if adaptive
         assert slicer.next_slice() == 300
 
+    def test_fixed_mode_honors_sizes_below_min_nodes(self):
+        # The [min_nodes, max_nodes] clamp only bounds adaptive steps;
+        # a fixed-size slicer must run exactly the requested count, so
+        # e.g. chaos configs with update_nodes=50 keep their fault
+        # schedules keyed on update counts.
+        slicer = AdaptiveSlicer(50, target_period=None, min_nodes=64)
+        slicer.observe(50, 1e-4)
+        assert slicer.next_slice() == 50
+
     def test_degenerate_observations_ignored(self):
         slicer = AdaptiveSlicer(200, target_period=0.25, min_nodes=64)
         slicer.observe(0, 1.0)
