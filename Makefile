@@ -2,18 +2,33 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos bench bench-show bench-engine bench-parallel report examples clean
+.PHONY: install lint test chaos chaos-net bench bench-show bench-engine bench-parallel bench-net report examples clean
 
 install:
 	pip install -e . --no-build-isolation
 
-test:
+# Lint with ruff when it is available; offline images without it still
+# get a green `make test` (the config lives in pyproject.toml).
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed; skipping lint (pip install -e '.[dev]')"; \
+	fi
+
+test: lint
 	$(PYTHON) -m pytest tests/
 
 # Seeded fault schedules against the real multiprocessing runtime:
 # coordinator crash/recover, lossy channels, worker crashes and hangs.
 chaos:
 	$(PYTHON) -m pytest tests/test_chaos_runtime.py -q -s
+
+# The cross-transport chaos matrix (marked slow, excluded from tier-1):
+# the same seeded schedules over in-process queues AND loopback TCP,
+# plus the socket-specific faults.
+chaos-net:
+	$(PYTHON) -m pytest tests/test_net_chaos.py -m "slow or not slow" -q -s
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -30,6 +45,11 @@ bench-engine:
 # shared-memory incumbent at 1/2/4/8 workers.  Regenerates BENCH_PR3.json.
 bench-parallel:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_parallel_scaling.py
+
+# Transport tax: the same Ta001 slice over in-process queues vs
+# loopback TCP, per-worker RPC-wait split.  Regenerates BENCH_PR4.json.
+bench-net:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_net_transport.py
 
 report:
 	$(PYTHON) -m repro.cli report

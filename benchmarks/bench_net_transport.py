@@ -1,0 +1,259 @@
+"""Network transport coordination tax — loopback TCP vs in-process queues.
+
+PR 4's tentpole put a real network transport under the farmer–worker
+runtime.  This benchmark prices it: the same Taillard 20×5 interval
+slice is solved by the same workers over the original multiprocessing
+queues and over loopback TCP (length-prefixed frames, heartbeats, an
+asyncio server thread), and the per-worker explore vs RPC-wait
+breakdown — measured by the workers themselves — quantifies what the
+wire costs.  Every configuration must prove the serial engine's exact
+optimum, and every run's coordinator-side node count must equal the
+sum of the workers' own Bye reports (the two sides of the accounting
+ledger are produced independently).
+
+A 1-worker TCP run is included as the accounting probe: with a single
+worker there is no work stealing and no bound racing, so its node
+count is also compared against the serial engine's.
+
+Run it via ``make bench-net`` or directly::
+
+    PYTHONPATH=src python benchmarks/bench_net_transport.py
+    PYTHONPATH=src python benchmarks/bench_net_transport.py --quick
+
+The tier-1 smoke test (``tests/test_bench_net_transport.py``) runs the
+``--quick`` configuration on every test run, so the TCP path's
+serial-identical-optimum guarantee cannot silently rot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import Interval, solve  # noqa: E402
+from repro.grid.runtime import (  # noqa: E402
+    RuntimeConfig,
+    flowshop_spec,
+    solve_parallel,
+)
+from repro.problems.flowshop import (  # noqa: E402
+    FlowShopProblem,
+    random_instance,
+    taillard_instance,
+)
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_PR4.json"
+
+
+def _make_workload(quick: bool) -> Dict[str, Any]:
+    if quick:
+        instance = random_instance(8, 4, seed=17)
+        interval = None
+        name = "quick-8x4-full"
+    else:
+        # Ta001 without a warm start: the slice is sized to explore
+        # ~1.3M nodes in tens of seconds, long enough that transport
+        # overhead is a measurable share, short enough to run often.
+        instance = taillard_instance(20, 5, 1)
+        total = math.factorial(instance.jobs)
+        interval = Interval(0, total // 25_000_000)
+        name = "ta001-20x5-slice"
+    return {"name": name, "instance": instance, "interval": interval}
+
+
+def _runtime_config(
+    workers: int, transport: str, quick: bool, interval
+) -> RuntimeConfig:
+    return RuntimeConfig(
+        workers=workers,
+        update_nodes=500 if quick else 2000,
+        deadline=120 if quick else 900,
+        transport=transport,
+        root_interval=None if interval is None else interval.as_tuple(),
+    )
+
+
+def _worker_breakdown(result) -> List[Dict[str, Any]]:
+    rows = []
+    for worker_id in sorted(result.worker_stats):
+        stats = result.worker_stats[worker_id]
+        explore = stats.get("explore_seconds", 0.0)
+        wait = stats.get("rpc_wait_seconds", 0.0)
+        busy = explore + wait
+        rows.append(
+            {
+                "worker": worker_id,
+                "nodes": int(stats.get("nodes", 0)),
+                "updates": int(stats.get("updates", 0)),
+                "explore_seconds": round(explore, 4),
+                "rpc_wait_seconds": round(wait, 4),
+                "rpc_wait_share": round(wait / busy, 4) if busy else 0.0,
+            }
+        )
+    return rows
+
+
+def _run(
+    spec, workers: int, transport: str, quick: bool, expected_cost, interval
+) -> Dict[str, Any]:
+    result = solve_parallel(
+        spec, _runtime_config(workers, transport, quick, interval)
+    )
+    if not result.optimal:
+        raise AssertionError(
+            f"{transport} run ({workers} workers) did not prove optimality"
+        )
+    if result.cost != expected_cost:
+        raise AssertionError(
+            f"{transport} run found {result.cost}, serial proved "
+            f"{expected_cost}"
+        )
+    reported = sum(
+        int(s.get("nodes", 0)) for s in result.worker_stats.values()
+    )
+    if reported != result.nodes_explored:
+        raise AssertionError(
+            f"{transport} accounting mismatch: coordinator counted "
+            f"{result.nodes_explored} nodes, workers reported {reported}"
+        )
+    return {
+        "transport": transport,
+        "workers": workers,
+        "cost": int(result.cost),
+        "serial_identical_optimum": True,
+        "accounting_consistent": True,
+        "wall_seconds": round(result.wall_seconds, 4),
+        "nodes_explored": result.nodes_explored,
+        "nodes_per_sec": round(result.nodes_explored / result.wall_seconds),
+        "redundant_rate": round(result.redundant_rate, 4),
+        "work_allocations": result.work_allocations,
+        "explore_seconds": round(result.explore_seconds, 4),
+        "rpc_wait_seconds": round(result.rpc_wait_seconds, 4),
+        "worker_breakdown": _worker_breakdown(result),
+    }
+
+
+def run_benchmark(quick: bool = False, workers: int = 2) -> Dict[str, Any]:
+    """In-process vs loopback-TCP on identical work; all optima asserted."""
+    workload = _make_workload(quick)
+    instance = workload["instance"]
+    interval = workload["interval"]
+
+    serial = solve(FlowShopProblem(instance), interval=interval)
+    spec = flowshop_spec(instance)
+
+    inproc = _run(spec, workers, "inprocess", quick, serial.cost, interval)
+    over_tcp = _run(spec, workers, "tcp", quick, serial.cost, interval)
+    probe = _run(spec, 1, "tcp", quick, serial.cost, interval)
+
+    tax = {
+        "workers": workers,
+        "inprocess_rpc_wait_seconds": inproc["rpc_wait_seconds"],
+        "tcp_rpc_wait_seconds": over_tcp["rpc_wait_seconds"],
+        "rpc_wait_ratio": (
+            round(
+                over_tcp["rpc_wait_seconds"] / inproc["rpc_wait_seconds"], 2
+            )
+            if inproc["rpc_wait_seconds"] > 0
+            else None
+        ),
+        "inprocess_nodes_per_sec": inproc["nodes_per_sec"],
+        "tcp_nodes_per_sec": over_tcp["nodes_per_sec"],
+        "throughput_ratio": round(
+            over_tcp["nodes_per_sec"] / inproc["nodes_per_sec"], 3
+        ),
+    }
+
+    return {
+        "pr": 4,
+        "benchmark": (
+            "network transport coordination tax: loopback TCP vs "
+            "in-process queues"
+        ),
+        "command": "make bench-net",
+        "quick": quick,
+        "host_cpus": os.cpu_count(),
+        "workload": {
+            "name": workload["name"],
+            "jobs": instance.jobs,
+            "machines": instance.machines,
+            "interval": None
+            if interval is None
+            else [interval.begin, interval.end],
+            "serial_cost": int(serial.cost),
+            "serial_nodes": serial.stats.nodes_explored,
+        },
+        "runs": [inproc, over_tcp, probe],
+        "transport_tax": tax,
+        "accounting_probe": {
+            "transport": "tcp",
+            "workers": 1,
+            "nodes_explored": probe["nodes_explored"],
+            "serial_nodes": serial.stats.nodes_explored,
+            "matches_serial": (
+                probe["nodes_explored"] == serial.stats.nodes_explored
+            ),
+        },
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="tiny instance (the tier-1 smoke configuration)",
+    )
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help=f"result file (default {DEFAULT_OUTPUT}; quick mode: stdout only)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(quick=args.quick, workers=args.workers)
+
+    for rec in report["runs"]:
+        print(
+            f"{rec['transport']:<10} workers={rec['workers']} "
+            f"{rec['nodes_explored']:>8} nodes  "
+            f"{rec['nodes_per_sec']:>7} n/s  "
+            f"rpc-wait {rec['rpc_wait_seconds']:>7.3f}s  "
+            f"redundant {rec['redundant_rate']:.2%}"
+        )
+    tax = report["transport_tax"]
+    print(
+        f"transport tax @ {tax['workers']} workers: "
+        f"in-process rpc-wait {tax['inprocess_rpc_wait_seconds']:.3f}s vs "
+        f"tcp {tax['tcp_rpc_wait_seconds']:.3f}s; throughput ratio "
+        f"{tax['throughput_ratio']:.3f}x (tcp/in-process)"
+    )
+    probe = report["accounting_probe"]
+    print(
+        f"accounting probe (1 worker over tcp): {probe['nodes_explored']} "
+        f"nodes vs serial {probe['serial_nodes']} "
+        f"(match: {probe['matches_serial']})"
+    )
+
+    output = args.output
+    if output is None and not args.quick:
+        output = DEFAULT_OUTPUT
+    if output is not None:
+        output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,6 +6,10 @@ Commands
     Exactly solve a flow-shop instance (sequential or parallel).
 ``repro simulate``
     Run a grid simulation and print the Table 2 statistics.
+``repro grid serve`` / ``repro grid worker``
+    Run the farmer–worker runtime over real TCP: a standalone
+    coordinator server, and workers that connect to it by address
+    (two terminals on one machine, or many machines).
 ``repro tables``
     Print the paper's static tables (1 and 3).
 ``repro taillard``
@@ -78,6 +82,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a quick reproduction sweep and print paper-vs-measured",
     )
     report_p.add_argument("--seed", type=int, default=1)
+
+    grid_p = sub.add_parser(
+        "grid", help="network farmer–worker runtime (TCP transport)"
+    )
+    grid_sub = grid_p.add_subparsers(dest="grid_command", required=True)
+
+    serve_p = grid_sub.add_parser(
+        "serve", help="run the coordinator server for one resolution"
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=4715,
+                         help="0 picks a free port (printed at startup)")
+    serve_p.add_argument("--jobs", type=int, default=9)
+    serve_p.add_argument("--machines", type=int, default=4)
+    serve_p.add_argument("--seed", type=int, default=1)
+    serve_p.add_argument(
+        "--taillard", type=int, default=None, metavar="INDEX",
+        help="use Taillard instance INDEX of the jobs x machines class",
+    )
+    serve_p.add_argument("--bound", choices=["lb1", "lb2", "combined"],
+                         default="combined")
+    serve_p.add_argument("--no-neh", action="store_true",
+                         help="skip the NEH warm start")
+    serve_p.add_argument("--interval", type=int, nargs=2, default=None,
+                         metavar=("BEGIN", "END"),
+                         help="solve only this leaf interval of the tree")
+    serve_p.add_argument("--deadline", type=float, default=None,
+                         help="abort after this many wall seconds")
+    serve_p.add_argument("--lease-seconds", type=float, default=30.0,
+                         help="presume a silent worker dead after this long")
+    serve_p.add_argument("--checkpoint-dir", default=None)
+
+    worker_p = grid_sub.add_parser(
+        "worker", help="connect to a coordinator server and work"
+    )
+    worker_p.add_argument("--connect", required=True, metavar="HOST:PORT",
+                          help="coordinator server address")
+    worker_p.add_argument("--id", default=None,
+                          help="worker id (default: host-pid)")
+    worker_p.add_argument("--power", type=float, default=1.0)
+    worker_p.add_argument("--update-nodes", type=int, default=2000)
+    worker_p.add_argument("--update-period", type=float, default=0.25,
+                          help="target seconds per interval update "
+                               "(0 disables adaptive slicing)")
+    worker_p.add_argument("--reply-timeout", type=float, default=10.0)
+    worker_p.add_argument("--max-retries", type=int, default=6)
 
     sub.add_parser("tables", help="print the static tables (1 and 3)")
 
@@ -257,6 +307,90 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_grid(args) -> int:
+    if args.grid_command == "serve":
+        return _cmd_grid_serve(args)
+    return _cmd_grid_worker(args)
+
+
+def _cmd_grid_serve(args) -> int:
+    from pathlib import Path
+
+    from repro.grid.net.serve import GridServer, ServeConfig
+    from repro.grid.runtime import flowshop_spec
+    from repro.problems.flowshop import neh, random_instance, taillard_instance
+
+    if args.taillard is not None:
+        instance = taillard_instance(args.jobs, args.machines, args.taillard)
+    else:
+        instance = random_instance(args.jobs, args.machines, args.seed)
+    print(f"instance: {instance.name} ({instance.jobs}x{instance.machines})")
+
+    ub, warm = math.inf, None
+    if not args.no_neh:
+        seq, ub = neh(instance)
+        warm = tuple(seq)
+        print(f"NEH upper bound: {ub}")
+
+    server = GridServer(
+        flowshop_spec(instance, bound=args.bound),
+        ServeConfig(
+            host=args.host,
+            port=args.port,
+            initial_upper_bound=ub,
+            initial_solution=warm,
+            deadline=args.deadline,
+            lease_seconds=args.lease_seconds,
+            checkpoint_dir=(
+                Path(args.checkpoint_dir) if args.checkpoint_dir else None
+            ),
+            root_interval=tuple(args.interval) if args.interval else None,
+        ),
+    )
+    host, port = server.address
+    print(f"serving on {host}:{port} — connect workers with:")
+    print(f"  repro grid worker --connect {host}:{port}")
+    result = server.serve_forever()
+    print(f"optimal makespan: {result.cost} (proof: {result.optimal})")
+    if result.solution is not None:
+        print(f"schedule: {list(result.solution)}")
+    print(
+        f"workers={len(result.worker_stats)} "
+        f"allocations={result.work_allocations} "
+        f"updates={result.checkpoint_operations} "
+        f"nodes={result.nodes_explored} "
+        f"redundant={result.redundant_rate:.2%}"
+    )
+    return 0 if result.optimal else 1
+
+
+def _cmd_grid_worker(args) -> int:
+    import os
+    import socket as socket_mod
+
+    from repro.grid.net.serve import run_worker
+
+    host, _, port_text = args.connect.rpartition(":")
+    if not host or not port_text.isdigit():
+        print(f"--connect must be HOST:PORT, got {args.connect!r}",
+              file=sys.stderr)
+        return 2
+    worker_id = args.id or f"{socket_mod.gethostname()}-{os.getpid()}"
+    print(f"worker {worker_id} connecting to {host}:{port_text}")
+    run_worker(
+        host,
+        int(port_text),
+        worker_id,
+        power=args.power,
+        update_nodes=args.update_nodes,
+        update_period=args.update_period or None,
+        reply_timeout=args.reply_timeout,
+        max_retries=args.max_retries,
+    )
+    print(f"worker {worker_id} done")
+    return 0
+
+
 def _cmd_tables(_args) -> int:
     from repro.analysis import render_table1, render_table3
 
@@ -283,6 +417,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "solve": _cmd_solve,
         "simulate": _cmd_simulate,
         "p2p": _cmd_p2p,
+        "grid": _cmd_grid,
         "report": _cmd_report,
         "tables": _cmd_tables,
         "taillard": _cmd_taillard,

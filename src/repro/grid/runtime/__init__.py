@@ -2,10 +2,14 @@
 
 The same protocol as the simulator — pull-model workers, interval
 updates through the intersection operator, two-file checkpoints — but
-executed by genuine OS processes exchanging pickled messages over
-queues.  This is the deployment a user runs to exactly solve an
-instance in parallel on one machine (the paper's grid collapsed to a
-single host's cores).
+executed by genuine OS processes exchanging messages over a pluggable
+transport (:mod:`repro.grid.net`): fork-inherited queues by default,
+loopback TCP with ``RuntimeConfig(transport="tcp")``, and a standalone
+network coordinator via ``repro grid serve`` /
+``repro grid worker --connect`` for runs that span machines.  This is
+the deployment a user runs to exactly solve an instance in parallel
+(the paper's grid collapsed to a single host's cores, or spread over
+real sockets).
 
 Public surface::
 

@@ -37,22 +37,32 @@ Every exchange is an at-least-once RPC: the worker stamps a monotonic
 sequence number on the message, waits ``reply_timeout`` for a reply
 carrying that seq (discarding stale replies left over from earlier
 retries), and on timeout re-sends the same message — same seq, so the
-coordinator dedups — up to ``max_retries`` times with the wait doubling
-each attempt (capped).  Only when every retry times out does the worker
-give up and die silently, exactly like a crash.
+coordinator dedups — up to ``max_retries`` times.  Successive waits
+back off with decorrelated jitter (capped at ``_BACKOFF_CAP`` times
+the base timeout), so a fleet of workers that lost the farmer together
+does not retry in lock step against the recovering farmer.  Only when
+every retry times out does the worker give up and die silently,
+exactly like a crash.
+
+The worker talks to the coordinator through a
+:class:`~repro.grid.net.transport.Connection` obtained from the
+:class:`~repro.grid.net.transport.Connector` it was handed — the same
+``worker_main`` runs over fork-inherited queues and over TCP.
 """
 
 from __future__ import annotations
 
 import itertools
 import math
-import queue as queue_mod
+import random
 import time
 from typing import Dict, Optional
 
 from repro.core.engine import IntervalExplorer
 from repro.core.interval import Interval
 from repro.core.stats import Incumbent
+from repro.grid.net.backoff import decorrelated_jitter
+from repro.grid.net.transport import Connection, Connector, TransportError
 from repro.grid.runtime.protocol import (
     Ack,
     Bye,
@@ -141,7 +151,7 @@ class AdaptiveSlicer:
 
 
 class _RpcChannel:
-    """At-least-once RPC over the two queues, with one-deep pipelining.
+    """At-least-once RPC over a Connection, with one-deep pipelining.
 
     ``call`` is the synchronous shape PR 1 shipped: send, wait, retry
     with the same seq on timeout.  ``send`` + ``collect`` split that
@@ -151,24 +161,29 @@ class _RpcChannel:
     keeps every coordinator-side assumption (one cached reply per
     worker, strictly increasing seqs) intact.
 
-    Time spent blocked on the reply queue is accumulated into
+    Each retry's wait is drawn with decorrelated jitter from
+    ``[reply_timeout, 3 × previous]`` (capped at ``_BACKOFF_CAP`` times
+    the base), so workers that timed out together spread their resends
+    instead of hammering a recovering coordinator in lock step.
+
+    Time spent blocked on the connection is accumulated into
     ``wait_stats["rpc_wait_seconds"]`` so coordination overhead is a
     measured number, not an inference.
     """
 
     def __init__(
         self,
-        request_queue,
-        reply_queue,
+        connection: Connection,
         reply_timeout: float,
         max_retries: int,
         wait_stats: Dict[str, float],
+        rng: Optional[random.Random] = None,
     ):
-        self._request_queue = request_queue
-        self._reply_queue = reply_queue
+        self._connection = connection
         self._reply_timeout = reply_timeout
         self._max_retries = max_retries
         self._wait_stats = wait_stats
+        self._rng = rng if rng is not None else random.Random()
         self._seq_counter = itertools.count(1)
         self._pending = None  # message awaiting its reply, or None
         self.gave_up = False  # a full retry budget expired: farmer gone
@@ -181,7 +196,7 @@ class _RpcChannel:
         assert self._pending is None, "only one RPC may be in flight"
         message.seq = next(self._seq_counter)
         self._pending = message
-        self._request_queue.put(message)
+        self._connection.send(message)
 
     def collect(self):
         """Wait for the pending RPC's reply (retrying); None = gave up."""
@@ -191,7 +206,7 @@ class _RpcChannel:
         timeout = self._reply_timeout
         for attempt in range(self._max_retries + 1):
             if attempt:
-                self._request_queue.put(message)  # same seq: dedupable
+                self._connection.send(message)  # same seq: dedupable
             deadline = time.monotonic() + timeout
             while True:
                 remaining = deadline - time.monotonic()
@@ -199,8 +214,10 @@ class _RpcChannel:
                     break
                 waited_from = time.monotonic()
                 try:
-                    reply = self._reply_queue.get(timeout=remaining)
-                except queue_mod.Empty:
+                    reply = self._connection.recv(timeout=remaining)
+                except TransportError:
+                    # Timeout, or the channel broke mid-wait: either
+                    # way the reply is missing — same retry recovers.
                     self._wait_stats["rpc_wait_seconds"] += (
                         time.monotonic() - waited_from
                     )
@@ -214,7 +231,12 @@ class _RpcChannel:
                     return reply
                 # A stale reply from an RPC we already retried past:
                 # discard and keep waiting for the current one.
-            timeout = min(timeout * 2.0, self._reply_timeout * _BACKOFF_CAP)
+            timeout = decorrelated_jitter(
+                self._rng,
+                self._reply_timeout,
+                timeout,
+                self._reply_timeout * _BACKOFF_CAP,
+            )
         self._pending = None
         self.gave_up = True
         return None  # coordinator gone for good: die silently like a crash
@@ -228,8 +250,7 @@ class _RpcChannel:
 def worker_main(
     worker_id: str,
     spec: ProblemSpec,
-    request_queue,
-    reply_queue,
+    connector: Connector,
     update_nodes: int = 2000,
     power: float = 1.0,
     reply_timeout: float = 60.0,
@@ -246,6 +267,11 @@ def worker_main(
 ) -> None:
     """Run one B&B process until the coordinator says terminate.
 
+    ``connector`` names the coordinator — a picklable
+    :class:`~repro.grid.net.transport.Connector` the worker opens into
+    its :class:`~repro.grid.net.transport.Connection` (fork-inherited
+    queues or a TCP client; the loop is backend-blind).
+
     ``update_nodes`` is the first slice's node budget; with
     ``update_period`` set, later slices adapt toward that many wall
     seconds of exploration (see :class:`AdaptiveSlicer`).  With
@@ -260,6 +286,49 @@ def worker_main(
     expires at the coordinator.  Both are fault-injection hooks used
     by the chaos suite and the examples.
     """
+    connection = connector.connect(worker_id)
+    try:
+        _worker_loop(
+            worker_id,
+            spec,
+            connection,
+            update_nodes=update_nodes,
+            power=power,
+            reply_timeout=reply_timeout,
+            max_retries=max_retries,
+            crash_after_updates=crash_after_updates,
+            hang_after_updates=hang_after_updates,
+            hang_seconds=hang_seconds,
+            update_period=update_period,
+            min_slice_nodes=min_slice_nodes,
+            max_slice_nodes=max_slice_nodes,
+            pipeline_updates=pipeline_updates,
+            shared_bound=shared_bound,
+            bound_poll_nodes=bound_poll_nodes,
+        )
+    finally:
+        connection.close()
+
+
+def _worker_loop(
+    worker_id: str,
+    spec: ProblemSpec,
+    connection: Connection,
+    *,
+    update_nodes: int,
+    power: float,
+    reply_timeout: float,
+    max_retries: int,
+    crash_after_updates: Optional[int],
+    hang_after_updates: Optional[int],
+    hang_seconds: float,
+    update_period: Optional[float],
+    min_slice_nodes: int,
+    max_slice_nodes: int,
+    pipeline_updates: bool,
+    shared_bound,
+    bound_poll_nodes: int,
+) -> None:
     problem = spec.build()
     stats_total: Dict[str, float] = {
         "nodes": 0,
@@ -272,7 +341,11 @@ def worker_main(
     updates_sent = 0
     best = {"cost": float("inf"), "solution": None}
     chan = _RpcChannel(
-        request_queue, reply_queue, reply_timeout, max_retries, stats_total
+        connection,
+        reply_timeout,
+        max_retries,
+        stats_total,
+        rng=random.Random(worker_id),  # deterministic, per-worker jitter
     )
     slicer = AdaptiveSlicer(
         update_nodes,
@@ -309,7 +382,7 @@ def worker_main(
     while True:
         reply = chan.call(Request(worker_id, power))
         if reply is None:
-            request_queue.put(Bye(worker_id, dict(stats_total)))
+            connection.send(Bye(worker_id, dict(stats_total)))
             return
         if isinstance(reply, Terminate):
             break

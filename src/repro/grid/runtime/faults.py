@@ -13,6 +13,11 @@ are exercised where they matter:
   wrap the request and reply queues and probabilistically drop,
   duplicate, or delay (reorder) individual protocol messages, driven
   by a seeded ``random.Random`` so every schedule is reproducible.
+  :class:`FaultyListener` lifts the same faults to the transport
+  layer: it wraps any :class:`~repro.grid.net.transport.Listener`, so
+  the identical chaos schedules run over multiprocessing queues and
+  over loopback TCP (socket-specific faults — client RSTs, half-open
+  peers — live in :mod:`repro.grid.net.tcp` and compose with these).
 * **Worker hang** — unlike a crash, a hung worker stays alive but
   silent past its lease; the coordinator releases its interval to the
   load balancer, and the worker's eventual late update reconciles
@@ -41,7 +46,9 @@ import queue as queue_mod
 import random
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
+
+from repro.grid.net.transport import Listener, TransportTimeout
 
 __all__ = [
     "CoordinatorCrash",
@@ -49,6 +56,7 @@ __all__ = [
     "ChannelFaults",
     "FaultStats",
     "FaultPlan",
+    "FaultyListener",
     "LossyReceiver",
     "LossySender",
 ]
@@ -269,3 +277,89 @@ class LossySender:
     def flush(self) -> None:
         while self._delayed:
             self._queue.put(self._delayed.popleft())
+
+
+class _ListenerRecvShim:
+    """Queue-shaped view of a Listener's inbox for :class:`LossyReceiver`."""
+
+    def __init__(self, listener: Listener):
+        self._listener = listener
+
+    def get(self, timeout: Optional[float] = None):
+        try:
+            return self._listener.recv(timeout=timeout)
+        except TransportTimeout:
+            raise queue_mod.Empty from None
+
+
+class _WorkerSendShim:
+    """Queue-shaped view of one worker's replies for :class:`LossySender`."""
+
+    def __init__(self, listener: Listener, worker: str):
+        self._listener = listener
+        self._worker = worker
+
+    def put(self, item) -> None:
+        self._listener.send(self._worker, item)
+
+
+class FaultyListener(Listener):
+    """Channel faults over *any* transport's listener.
+
+    Wraps the coordinator side of a transport with the same
+    :class:`LossyReceiver` / :class:`LossySender` machinery the queue
+    runtime has always used — via queue-shaped shims, so drop /
+    duplicate / delay semantics (and their statistics) are identical
+    whether the traffic underneath is a multiprocessing queue or a TCP
+    stream.  One lossy sender per worker keeps the per-destination
+    delay buffers independent, exactly like the per-worker reply
+    queues did.
+    """
+
+    def __init__(
+        self,
+        listener: Listener,
+        faults: ChannelFaults,
+        rng: random.Random,
+        stats: Optional[FaultStats] = None,
+    ):
+        self._listener = listener
+        self._faults = faults
+        self._rng = rng
+        self.stats = stats if stats is not None else FaultStats()
+        self._receiver = LossyReceiver(
+            _ListenerRecvShim(listener), faults, rng, self.stats
+        )
+        self._senders: Dict[str, LossySender] = {}
+
+    def recv(self, timeout: Optional[float] = None) -> Any:
+        try:
+            return self._receiver.get(timeout=timeout)
+        except queue_mod.Empty:
+            raise TransportTimeout(
+                f"no message within {timeout}s"
+            ) from None
+
+    def send(self, worker: str, reply: Any) -> None:
+        sender = self._senders.get(worker)
+        if sender is None:
+            sender = LossySender(
+                _WorkerSendShim(self._listener, worker),
+                self._faults,
+                self._rng,
+                self.stats,
+            )
+            self._senders[worker] = sender
+        sender.put(reply)
+
+    def flush(self) -> None:
+        for sender in self._senders.values():
+            sender.flush()
+        self._listener.flush()
+
+    @property
+    def address(self):
+        return self._listener.address
+
+    def close(self) -> None:
+        self._listener.close()

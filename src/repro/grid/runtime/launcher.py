@@ -21,16 +21,23 @@ if the OS still shows the process alive (a hang, not a crash).
 A :class:`~repro.grid.runtime.faults.FaultPlan` turns the run into a
 chaos experiment: the coordinator itself can be crashed mid-run (state
 dropped, messages lost during the downtime, then recovered from the
-two checkpoint files), and the queues can drop, duplicate, or reorder
+two checkpoint files), and the channel can drop, duplicate, or reorder
 individual messages.  The §4.1 invariant — the union of coordinator
 interval copies always covers all unexplored work — makes every such
 run terminate with the same proved optimum, at worst re-exploring.
+
+All traffic runs over a pluggable transport
+(:mod:`repro.grid.net`): ``transport="inprocess"`` is the original
+multiprocessing-queue wiring, ``transport="tcp"`` puts a real loopback
+TCP coordinator server between the same forked workers — byte-exact
+framing, reconnects and all — without changing a line of the pump or
+the worker loop.  Channel faults wrap the listener generically, and
+``socket_faults`` adds TCP-only chaos (client-side RSTs mid-run).
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
-import queue as queue_mod
 import random
 import tempfile
 import time
@@ -42,14 +49,10 @@ from repro.core.checkpoint import CheckpointStore
 from repro.core.interval import Interval
 from repro.core.stats import Incumbent
 from repro.exceptions import RuntimeProtocolError
+from repro.grid.net.transport import Transport, TransportTimeout
 from repro.grid.runtime.bbprocess import worker_main
 from repro.grid.runtime.coordinator import Coordinator
-from repro.grid.runtime.faults import (
-    FaultPlan,
-    FaultStats,
-    LossyReceiver,
-    LossySender,
-)
+from repro.grid.runtime.faults import FaultPlan, FaultStats, FaultyListener
 from repro.grid.runtime.protocol import Bye, ProblemSpec
 from repro.grid.runtime.shared import SharedBound
 
@@ -75,6 +78,13 @@ class RuntimeConfig:
     of the tree's leaf numbering (the paper's work unit) instead of the
     full range — the parallel counterpart of ``solve(..., interval=…)``;
     the proved optimum is then the optimum over that slice.
+
+    ``transport`` selects the wire between coordinator and workers:
+    ``"inprocess"`` (fork-inherited multiprocessing queues) or
+    ``"tcp"`` (a loopback TCP server; the same forked workers connect
+    as network clients, with framing, heartbeats and reconnects).
+    ``socket_faults`` is a :class:`~repro.grid.net.tcp.SocketFaults`
+    applied to every worker's client connection (TCP only).
     """
 
     workers: int = 2
@@ -96,6 +106,8 @@ class RuntimeConfig:
     max_retries: int = 2  # RPC retries (same seq, capped backoff)
     lease_seconds: Optional[float] = None  # silent-owner expiry (off by default)
     root_interval: Optional[Tuple[int, int]] = None  # leaf slice to solve
+    transport: str = "inprocess"  # "inprocess" | "tcp"
+    socket_faults: Optional[Any] = None  # SocketFaults, TCP only
     crash_workers: Dict[int, int] = field(default_factory=dict)
     # worker index -> crash after that many updates (fault injection)
     fault_plan: Optional[FaultPlan] = None
@@ -125,6 +137,30 @@ class ParallelResult:
     # seconds blocked waiting on RPC replies.
     explore_seconds: float = 0.0
     rpc_wait_seconds: float = 0.0
+
+
+def _build_transport(config: RuntimeConfig, ctx) -> Transport:
+    """Instantiate the configured transport backend."""
+    if config.transport == "inprocess":
+        if config.socket_faults is not None:
+            raise RuntimeProtocolError(
+                "socket_faults needs transport='tcp'"
+            )
+        from repro.grid.net.inprocess import InProcessTransport
+
+        return InProcessTransport(ctx)
+    if config.transport == "tcp":
+        # Imported here, not at module top: repro.grid.net.tcp needs
+        # the framing module, which imports this package back — the
+        # lazy import keeps `import repro.grid.net` from re-entering a
+        # half-initialized module either way around.
+        from repro.grid.net.tcp import TcpTransport
+
+        return TcpTransport(faults=config.socket_faults)
+    raise RuntimeProtocolError(
+        f"unknown transport {config.transport!r} "
+        f"(expected 'inprocess' or 'tcp')"
+    )
 
 
 def solve_parallel(spec: ProblemSpec, config: Optional[RuntimeConfig] = None) -> ParallelResult:
@@ -177,31 +213,22 @@ def solve_parallel(spec: ProblemSpec, config: Optional[RuntimeConfig] = None) ->
         if config.shared_incumbent
         else None
     )
-    request_queue = ctx.Queue()
+    transport = _build_transport(config, ctx)
+    listener: Any = transport.listen()
     fault_stats = FaultStats()
     fault_rng = random.Random(plan.seed)
     if plan.channel is not None:
-        receiver: Any = LossyReceiver(
-            request_queue, plan.channel, fault_rng, fault_stats
+        listener = FaultyListener(
+            listener, plan.channel, fault_rng, fault_stats
         )
-    else:
-        receiver = request_queue
-    reply_queues: Dict[str, Any] = {}
-    senders: Dict[str, Any] = {}
     processes: Dict[str, Any] = {}
     for i in range(config.workers):
         worker_id = f"worker-{i}"
-        reply_queues[worker_id] = ctx.Queue()
-        if plan.channel is not None:
-            senders[worker_id] = LossySender(
-                reply_queues[worker_id], plan.channel, fault_rng, fault_stats
-            )
-        else:
-            senders[worker_id] = reply_queues[worker_id]
+        connector = transport.connector_for(worker_id)
         hang = plan.worker_hangs.get(i)
         proc = ctx.Process(
             target=worker_main,
-            args=(worker_id, spec, request_queue, reply_queues[worker_id]),
+            args=(worker_id, spec, connector),
             kwargs={
                 "update_nodes": config.update_nodes,
                 "reply_timeout": config.reply_timeout,
@@ -251,8 +278,8 @@ def solve_parallel(spec: ProblemSpec, config: Optional[RuntimeConfig] = None) ->
                 # coordinator restarts from the checkpoint files.
                 if now < down_until:
                     try:
-                        receiver.get(timeout=min(0.05, down_until - now))
-                    except queue_mod.Empty:
+                        listener.recv(timeout=min(0.05, down_until - now))
+                    except TransportTimeout:
                         pass
                     continue
                 duplicates_ignored += coordinator.duplicates_ignored
@@ -270,13 +297,11 @@ def solve_parallel(spec: ProblemSpec, config: Optional[RuntimeConfig] = None) ->
 
             coordinator.maybe_checkpoint()
             try:
-                message = receiver.get(timeout=config.poll_interval)
-            except queue_mod.Empty:
+                message = listener.recv(timeout=config.poll_interval)
+            except TransportTimeout:
                 coordinator.check_leases()
-                for sender in senders.values():
-                    if isinstance(sender, LossySender):
-                        sender.flush()
-                # Only with a drained queue do we look for crashes —
+                listener.flush()
+                # Only with a drained inbox do we look for crashes —
                 # a worker that exits right after its Bye must not be
                 # misread as dead before the Bye is processed.
                 for worker_id, proc in processes.items():
@@ -291,8 +316,8 @@ def solve_parallel(spec: ProblemSpec, config: Optional[RuntimeConfig] = None) ->
             batch = [message]
             while True:
                 try:
-                    batch.append(receiver.get(timeout=0))
-                except queue_mod.Empty:
+                    batch.append(listener.recv(timeout=0))
+                except TransportTimeout:
                     break
             for message in batch:
                 reply = coordinator.handle(message)
@@ -302,7 +327,7 @@ def solve_parallel(spec: ProblemSpec, config: Optional[RuntimeConfig] = None) ->
                     if message.worker in crashed:
                         crashed.remove(message.worker)  # late Bye won the race
                 if reply is not None:
-                    senders[message.worker].put(reply)
+                    listener.send(message.worker, reply)
                 if (
                     next_crash is not None
                     and messages_handled >= next_crash.after_messages
@@ -325,14 +350,13 @@ def solve_parallel(spec: ProblemSpec, config: Optional[RuntimeConfig] = None) ->
             coordinator.check_leases()
     finally:
         coordinator.maybe_checkpoint(force=True)
-        for sender in senders.values():
-            if isinstance(sender, LossySender):
-                sender.flush()
+        listener.flush()
         for proc in processes.values():
             proc.join(timeout=5.0)
             if proc.is_alive():
                 proc.terminate()
                 proc.join(timeout=5.0)
+        transport.close()
         if temp_ckpt is not None:
             temp_ckpt.cleanup()
 

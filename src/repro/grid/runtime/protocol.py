@@ -5,19 +5,35 @@ Messages are small picklable dataclasses; intervals travel as
 Problems cross the process boundary as a :class:`ProblemSpec` (a
 module-level factory plus arguments) so workers rebuild their own
 problem object instead of pickling caches and NumPy views.
+
+Every message carries an explicit ``version`` field — the message's
+wire-format version, serialized by the network transports
+(:mod:`repro.grid.net.framing`).  Renaming or retyping a field within
+a version is forbidden; additions must bump it.  Decoders refuse
+versions from the future, so a mixed fleet fails loudly at the frame
+boundary instead of silently misreading fields.
+
+:func:`spec_to_wire` / :func:`spec_from_wire` translate a
+:class:`ProblemSpec` to and from a JSON-able form (the factory as a
+``module:qualname`` reference) so a coordinator can hand the problem
+definition to standalone workers over the network, not just over fork.
 """
 
 from __future__ import annotations
 
+import importlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.core.problem import Problem
 
 __all__ = [
+    "PROTOCOL_VERSION",
     "ProblemSpec",
     "flowshop_spec",
     "tsp_spec",
+    "spec_to_wire",
+    "spec_from_wire",
     "Request",
     "Update",
     "Push",
@@ -27,6 +43,9 @@ __all__ = [
     "Ack",
     "Terminate",
 ]
+
+#: Wire-format version stamped on every message.
+PROTOCOL_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -77,6 +96,45 @@ def tsp_spec(instance) -> ProblemSpec:
     return ProblemSpec(_build_tsp, (instance.distances.tolist(), instance.name))
 
 
+def spec_to_wire(spec: ProblemSpec) -> Dict[str, Any]:
+    """JSON-able form of ``spec``: the factory as ``module:qualname``.
+
+    Only module-level factories with JSON-able arguments survive the
+    trip — which is exactly what :func:`flowshop_spec` and
+    :func:`tsp_spec` construct.
+    """
+    factory = spec.factory
+    module = getattr(factory, "__module__", None)
+    qualname = getattr(factory, "__qualname__", "")
+    if not module or "." in qualname or "<" in qualname:
+        raise ValueError(
+            f"spec factory {factory!r} is not a module-level callable; "
+            f"it cannot be named on the wire"
+        )
+    return {
+        "factory": f"{module}:{qualname}",
+        "args": list(spec.args),
+        "kwargs": dict(spec.kwargs),
+    }
+
+
+def spec_from_wire(wire: Dict[str, Any]) -> ProblemSpec:
+    """Rebuild the :class:`ProblemSpec` named by :func:`spec_to_wire`."""
+    ref = wire.get("factory")
+    if not isinstance(ref, str) or ":" not in ref:
+        raise ValueError(f"bad factory reference {ref!r}")
+    module_name, _, qualname = ref.partition(":")
+    module = importlib.import_module(module_name)
+    factory = getattr(module, qualname, None)
+    if not callable(factory):
+        raise ValueError(f"{ref} does not name a callable")
+    return ProblemSpec(
+        factory,
+        tuple(wire.get("args", ())),
+        dict(wire.get("kwargs", {})),
+    )
+
+
 # ----------------------------------------------------------------------
 # worker -> coordinator
 # ----------------------------------------------------------------------
@@ -92,6 +150,7 @@ class Request:
     worker: str
     power: float = 1.0
     seq: int = 0
+    version: int = PROTOCOL_VERSION
 
 
 @dataclass
@@ -101,6 +160,7 @@ class Update:
     nodes: int  # nodes explored since the previous update
     consumed: int
     seq: int = 0
+    version: int = PROTOCOL_VERSION
 
 
 @dataclass
@@ -109,6 +169,7 @@ class Push:
     cost: float
     solution: Any
     seq: int = 0
+    version: int = PROTOCOL_VERSION
 
 
 @dataclass
@@ -128,6 +189,7 @@ class Bye:
     worker: str
     stats: Dict[str, float]
     seq: int = 0
+    version: int = PROTOCOL_VERSION
 
 
 # ----------------------------------------------------------------------
@@ -143,6 +205,7 @@ class GrantWork:
     interval: Tuple[int, int]
     best_cost: float
     seq: int = 0
+    version: int = PROTOCOL_VERSION
 
 
 @dataclass
@@ -150,15 +213,18 @@ class Reconciled:
     interval: Tuple[int, int]
     best_cost: float
     seq: int = 0
+    version: int = PROTOCOL_VERSION
 
 
 @dataclass
 class Ack:
     best_cost: float
     seq: int = 0
+    version: int = PROTOCOL_VERSION
 
 
 @dataclass
 class Terminate:
     best_cost: float
     seq: int = 0
+    version: int = PROTOCOL_VERSION

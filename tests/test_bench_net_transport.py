@@ -1,0 +1,45 @@
+"""Smoke test for the PR 4 transport benchmark (quick configuration).
+
+Runs the real benchmark end to end on a tiny instance: both transports
+must prove the serial optimum, node accounting must reconcile, and the
+report must carry the fields BENCH_PR4.json promises.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parents[1] / "benchmarks"
+if str(BENCH_DIR) not in sys.path:
+    sys.path.insert(0, str(BENCH_DIR))
+
+from bench_net_transport import run_benchmark  # noqa: E402
+
+
+def test_quick_benchmark_report_shape():
+    report = run_benchmark(quick=True, workers=2)
+
+    assert report["pr"] == 4
+    assert report["quick"] is True
+    assert report["workload"]["serial_cost"] > 0
+
+    transports = [rec["transport"] for rec in report["runs"]]
+    assert transports == ["inprocess", "tcp", "tcp"]
+    for rec in report["runs"]:
+        # run_benchmark raises if any run misses the serial optimum or
+        # its node ledger; these flags record that the checks ran.
+        assert rec["serial_identical_optimum"] is True
+        assert rec["accounting_consistent"] is True
+        assert rec["cost"] == report["workload"]["serial_cost"]
+        assert len(rec["worker_breakdown"]) == rec["workers"]
+        for row in rec["worker_breakdown"]:
+            assert 0.0 <= row["rpc_wait_share"] <= 1.0
+
+    tax = report["transport_tax"]
+    assert tax["workers"] == 2
+    assert tax["throughput_ratio"] > 0
+
+    probe = report["accounting_probe"]
+    assert probe["workers"] == 1
+    assert probe["nodes_explored"] > 0
