@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install lint test chaos chaos-net bench bench-show bench-engine bench-parallel bench-net report examples clean
+.PHONY: install lint check typecheck test chaos chaos-net bench bench-show bench-engine bench-parallel bench-net report examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -16,7 +16,21 @@ lint:
 		echo "ruff not installed; skipping lint (pip install -e '.[dev]')"; \
 	fi
 
-test: lint
+# Project-specific invariants (RC01..RC07): the repro-check pass ships
+# with the package, so this runs everywhere — no extra install needed.
+check:
+	PYTHONPATH=src $(PYTHON) -m repro.tools.check src tests benchmarks examples --strict
+
+# mypy --strict over the typed perimeter (config in pyproject.toml).
+# Gated like lint: offline images without mypy still get a green run.
+typecheck:
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy src/repro; \
+	else \
+		echo "mypy not installed; skipping typecheck (pip install -e '.[dev]')"; \
+	fi
+
+test: lint check
 	$(PYTHON) -m pytest tests/
 
 # Seeded fault schedules against the real multiprocessing runtime:

@@ -14,6 +14,9 @@ Commands
     Print the paper's static tables (1 and 3).
 ``repro taillard``
     Print a Taillard benchmark instance.
+``repro check``
+    Run the project-specific static-analysis pass (see
+    ``docs/static-analysis.md``).
 """
 
 from __future__ import annotations
@@ -130,6 +133,14 @@ def build_parser() -> argparse.ArgumentParser:
     worker_p.add_argument("--max-retries", type=int, default=6)
 
     sub.add_parser("tables", help="print the static tables (1 and 3)")
+
+    check_p = sub.add_parser(
+        "check",
+        help="run the project-specific static-analysis pass",
+    )
+    from repro.tools.check.cli import add_check_arguments
+
+    add_check_arguments(check_p)
 
     ta_p = sub.add_parser("taillard", help="print a Taillard instance")
     ta_p.add_argument("--jobs", type=int, default=50)
@@ -400,6 +411,12 @@ def _cmd_tables(_args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    from repro.tools.check.cli import run_check
+
+    return run_check(args)
+
+
 def _cmd_taillard(args) -> int:
     from repro.problems.flowshop import taillard_instance
 
@@ -421,6 +438,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report": _cmd_report,
         "tables": _cmd_tables,
         "taillard": _cmd_taillard,
+        "check": _cmd_check,
     }
     return handlers[args.command](args)
 

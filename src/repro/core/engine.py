@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.active_list import ActiveList, ActiveNode
 from repro.core.interval import Interval
@@ -480,7 +480,7 @@ def brute_force_minimum(problem: Problem) -> SolveResult:
         def root_state(self) -> Any:
             return problem.root_state()
 
-        def branch(self, state: Any, depth: int):
+        def branch(self, state: Any, depth: int) -> Sequence[Any]:
             return problem.branch(state, depth)
 
         def lower_bound(self, state: Any, depth: int) -> float:

@@ -40,7 +40,7 @@ __all__ = [
 class InProcessConnection(Connection):
     """Worker side of the queue pair."""
 
-    def __init__(self, request_queue, reply_queue):
+    def __init__(self, request_queue: Any, reply_queue: Any):
         self._request_queue = request_queue
         self._reply_queue = reply_queue
 
@@ -62,7 +62,7 @@ class InProcessConnection(Connection):
 class InProcessConnector(Connector):
     """Fork-inheritable recipe: both queues already exist."""
 
-    def __init__(self, request_queue, reply_queue):
+    def __init__(self, request_queue: Any, reply_queue: Any):
         self._request_queue = request_queue
         self._reply_queue = reply_queue
 
@@ -73,11 +73,11 @@ class InProcessConnector(Connector):
 class InProcessListener(Listener):
     """Coordinator side: drain the shared queue, route by worker id."""
 
-    def __init__(self, request_queue):
+    def __init__(self, request_queue: Any):
         self._request_queue = request_queue
         self._reply_queues: Dict[str, Any] = {}
 
-    def register(self, worker_id: str, reply_queue) -> None:
+    def register(self, worker_id: str, reply_queue: Any) -> None:
         self._reply_queues[worker_id] = reply_queue
 
     def recv(self, timeout: Optional[float] = None) -> Any:
@@ -103,7 +103,7 @@ class InProcessListener(Listener):
 class InProcessTransport(Transport):
     """Queue-pair transport for workers forked from this process."""
 
-    def __init__(self, ctx=None):
+    def __init__(self, ctx: Any = None):
         if ctx is None:
             ctx = mp.get_context("fork") if hasattr(mp, "get_context") else mp
         self._ctx = ctx

@@ -56,13 +56,14 @@ import itertools
 import math
 import random
 import time
-from typing import Dict, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.engine import IntervalExplorer
 from repro.core.interval import Interval
 from repro.core.stats import Incumbent
 from repro.grid.net.backoff import decorrelated_jitter
 from repro.grid.net.transport import Connection, Connector, TransportError
+from repro.grid.runtime.shared import SharedBound
 from repro.grid.runtime.protocol import (
     Ack,
     Bye,
@@ -191,14 +192,14 @@ class _RpcChannel:
     def has_pending(self) -> bool:
         return self._pending is not None
 
-    def send(self, message) -> None:
+    def send(self, message: Any) -> None:
         """Fire an RPC without waiting; its reply is due at ``collect``."""
         assert self._pending is None, "only one RPC may be in flight"
         message.seq = next(self._seq_counter)
         self._pending = message
         self._connection.send(message)
 
-    def collect(self):
+    def collect(self) -> Any:
         """Wait for the pending RPC's reply (retrying); None = gave up."""
         message = self._pending
         assert message is not None, "collect() without a pending RPC"
@@ -241,7 +242,7 @@ class _RpcChannel:
         self.gave_up = True
         return None  # coordinator gone for good: die silently like a crash
 
-    def call(self, message):
+    def call(self, message: Any) -> Any:
         """Classic synchronous RPC: send then immediately collect."""
         self.send(message)
         return self.collect()
@@ -262,7 +263,7 @@ def worker_main(
     min_slice_nodes: int = 64,
     max_slice_nodes: int = 1 << 20,
     pipeline_updates: bool = True,
-    shared_bound=None,
+    shared_bound: Optional[SharedBound] = None,
     bound_poll_nodes: int = 256,
 ) -> None:
     """Run one B&B process until the coordinator says terminate.
@@ -326,7 +327,7 @@ def _worker_loop(
     min_slice_nodes: int,
     max_slice_nodes: int,
     pipeline_updates: bool,
-    shared_bound,
+    shared_bound: Optional[SharedBound],
     bound_poll_nodes: int,
 ) -> None:
     problem = spec.build()
@@ -358,7 +359,7 @@ def _worker_loop(
     def shared_cost() -> float:
         return shared_bound.read() if shared_bound is not None else math.inf
 
-    def reinform_if_stale(global_best):
+    def reinform_if_stale(global_best: float) -> None:
         # The coordinator believes something worse than our local best
         # (it recovered from an old checkpoint): push ours again.
         if best["solution"] is not None and global_best > best["cost"]:
@@ -382,6 +383,7 @@ def _worker_loop(
     while True:
         reply = chan.call(Request(worker_id, power))
         if reply is None:
+            # repro-check: ignore[RC04] -- best-effort Bye after the retry budget is exhausted; the launcher's process sentinel covers the exit
             connection.send(Bye(worker_id, dict(stats_total)))
             return
         if isinstance(reply, Terminate):
@@ -390,9 +392,9 @@ def _worker_loop(
         stats_total["allocations"] += 1
         reinform_if_stale(reply.best_cost)
         interval = Interval.from_tuple(reply.interval)
-        improvements: list = []
+        improvements: List[Tuple[float, Any]] = []
 
-        def on_improvement(cost, solution):
+        def on_improvement(cost: float, solution: Any) -> None:
             # Deliberately NOT offered to shared_bound here: the cell
             # must only ever hold costs the coordinator has a solution
             # for, or a crash before the Push would leave a bound that

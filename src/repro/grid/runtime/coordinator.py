@@ -11,7 +11,7 @@ simulator uses: :class:`~repro.core.interval_set.IntervalSet`,
 from __future__ import annotations
 
 import time
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Union
 
 from repro.core.checkpoint import CheckpointStore
 from repro.core.interval import Interval
@@ -85,7 +85,7 @@ class Coordinator:
         self.improvements = 0
         self.duplicates_ignored = 0
         self.leases_expired: List[str] = []
-        self.byes: Dict[str, Dict[str, int]] = {}
+        self.byes: Dict[str, Dict[str, float]] = {}
 
     # ------------------------------------------------------------------
     @classmethod
@@ -159,7 +159,7 @@ class Coordinator:
             f"coordinator cannot handle {type(message).__name__}"
         )
 
-    def _on_request(self, msg: Request):
+    def _on_request(self, msg: Request) -> Union[GrantWork, Terminate]:
         self._powers[msg.worker] = msg.power
         if self.intervals.is_empty():
             self.terminated = True
@@ -171,7 +171,7 @@ class Coordinator:
         self.work_allocations += 1
         return GrantWork(assignment.interval.as_tuple(), self.solution.cost)
 
-    def _on_update(self, msg: Update):
+    def _on_update(self, msg: Update) -> Reconciled:
         merged = self.intervals.update(msg.worker, Interval.from_tuple(msg.interval))
         self.worker_checkpoint_ops += 1
         self.nodes_explored += msg.nodes
@@ -180,7 +180,7 @@ class Coordinator:
             self.terminated = True
         return Reconciled(merged.as_tuple(), self.solution.cost)
 
-    def _on_push(self, msg: Push):
+    def _on_push(self, msg: Push) -> Ack:
         if self.solution.update(msg.cost, msg.solution):
             self.improvements += 1
         return Ack(self.solution.cost)
@@ -237,4 +237,5 @@ class Coordinator:
     def redundant_rate(self, total_leaves: int) -> float:
         if self.leaves_consumed <= 0:
             return 0.0
+        # repro-check: ignore[RC01] -- reporting ratio for Table 2, not interval state
         return max(0, self.leaves_consumed - total_leaves) / self.leaves_consumed

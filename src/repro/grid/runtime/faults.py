@@ -46,7 +46,7 @@ import queue as queue_mod
 import random
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.grid.net.transport import Listener, TransportTimeout
 
@@ -198,7 +198,7 @@ class LossyReceiver:
     never turn into loss.
     """
 
-    def __init__(self, queue, faults: ChannelFaults, rng: random.Random,
+    def __init__(self, queue: Any, faults: ChannelFaults, rng: random.Random,
                  stats: Optional[FaultStats] = None):
         self._queue = queue
         self._faults = faults
@@ -207,7 +207,7 @@ class LossyReceiver:
         self._pending: deque = deque()  # duplicates / released delays
         self._delayed: deque = deque()
 
-    def get(self, timeout: Optional[float] = None):
+    def get(self, timeout: Optional[float] = None) -> Any:
         while True:
             if self._pending:
                 return self._pending.popleft()
@@ -246,7 +246,7 @@ class LossySender:
     worker forever.
     """
 
-    def __init__(self, queue, faults: ChannelFaults, rng: random.Random,
+    def __init__(self, queue: Any, faults: ChannelFaults, rng: random.Random,
                  stats: Optional[FaultStats] = None):
         self._queue = queue
         self._faults = faults
@@ -254,7 +254,7 @@ class LossySender:
         self.stats = stats if stats is not None else FaultStats()
         self._delayed: deque = deque()
 
-    def put(self, item) -> None:
+    def put(self, item: Any) -> None:
         roll = self._rng.random()
         f = self._faults
         if roll < f.drop:
@@ -285,7 +285,7 @@ class _ListenerRecvShim:
     def __init__(self, listener: Listener):
         self._listener = listener
 
-    def get(self, timeout: Optional[float] = None):
+    def get(self, timeout: Optional[float] = None) -> Any:
         try:
             return self._listener.recv(timeout=timeout)
         except TransportTimeout:
@@ -299,7 +299,7 @@ class _WorkerSendShim:
         self._listener = listener
         self._worker = worker
 
-    def put(self, item) -> None:
+    def put(self, item: Any) -> None:
         self._listener.send(self._worker, item)
 
 
@@ -358,7 +358,7 @@ class FaultyListener(Listener):
         self._listener.flush()
 
     @property
-    def address(self):
+    def address(self) -> Optional[Tuple[str, int]]:
         return self._listener.address
 
     def close(self) -> None:

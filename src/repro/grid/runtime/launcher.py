@@ -139,7 +139,7 @@ class ParallelResult:
     rpc_wait_seconds: float = 0.0
 
 
-def _build_transport(config: RuntimeConfig, ctx) -> Transport:
+def _build_transport(config: RuntimeConfig, ctx: Any) -> Transport:
     """Instantiate the configured transport backend."""
     if config.transport == "inprocess":
         if config.socket_faults is not None:

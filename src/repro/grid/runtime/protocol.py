@@ -23,7 +23,11 @@ from __future__ import annotations
 
 import importlib
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # import-free at runtime: keep the wire module light
+    from repro.problems.flowshop import FlowShopInstance
+    from repro.problems.tsp import TSPInstance
 
 from repro.core.problem import Problem
 
@@ -60,7 +64,12 @@ class ProblemSpec:
         return self.factory(*self.args, **dict(self.kwargs))
 
 
-def _build_flowshop(processing_times, name, bound, pair_strategy) -> Problem:
+def _build_flowshop(
+    processing_times: List[List[int]],
+    name: str,
+    bound: str,
+    pair_strategy: str,
+) -> Problem:
     from repro.problems.flowshop import FlowShopInstance, FlowShopProblem
 
     return FlowShopProblem(
@@ -71,7 +80,9 @@ def _build_flowshop(processing_times, name, bound, pair_strategy) -> Problem:
 
 
 def flowshop_spec(
-    instance, bound: str = "combined", pair_strategy: str = "adjacent+ends"
+    instance: "FlowShopInstance",
+    bound: str = "combined",
+    pair_strategy: str = "adjacent+ends",
 ) -> ProblemSpec:
     """Spec for a :class:`~repro.problems.flowshop.FlowShopInstance`."""
     return ProblemSpec(
@@ -85,13 +96,13 @@ def flowshop_spec(
     )
 
 
-def _build_tsp(distances, name) -> Problem:
+def _build_tsp(distances: List[List[int]], name: str) -> Problem:
     from repro.problems.tsp import TSPInstance, TSPProblem
 
     return TSPProblem(TSPInstance(distances, name=name))
 
 
-def tsp_spec(instance) -> ProblemSpec:
+def tsp_spec(instance: "TSPInstance") -> ProblemSpec:
     """Spec for a :class:`~repro.problems.tsp.TSPInstance`."""
     return ProblemSpec(_build_tsp, (instance.distances.tolist(), instance.name))
 

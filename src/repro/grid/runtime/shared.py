@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import math
 import multiprocessing as mp
-from typing import Optional
+from typing import Any, Callable
 
 __all__ = ["SharedBound"]
 
@@ -42,7 +42,7 @@ __all__ = ["SharedBound"]
 class SharedBound:
     """A monotonic-min cost cell shared by every process of a run."""
 
-    def __init__(self, initial: float = math.inf, ctx=None):
+    def __init__(self, initial: float = math.inf, ctx: Any = None):
         if ctx is None:
             ctx = mp.get_context("fork") if hasattr(mp, "get_context") else mp
         self._cell = ctx.Value("d", float(initial))
@@ -64,6 +64,6 @@ class SharedBound:
                 return True
         return False
 
-    def as_provider(self):
+    def as_provider(self) -> Callable[[], float]:
         """A zero-arg callable reading the bound — the engine-hook shape."""
         return self.read

@@ -1,0 +1,7 @@
+"""Developer tooling that ships with the repository.
+
+Unlike :mod:`repro.core` and :mod:`repro.grid`, nothing under this
+package runs inside a resolution — these are build-time tools (the
+``repro check`` static-analysis pass) that keep the runtime's
+invariants enforceable as the codebase is refactored.
+"""

@@ -1,0 +1,36 @@
+"""``repro check`` — AST-based enforcement of the runtime's invariants.
+
+The checker is a small rule engine (:mod:`repro.tools.check.core`)
+plus the project-specific rules (:mod:`repro.tools.check.rules`) that
+pin invariants earlier PRs of this repository learned the hard way:
+int-exact interval arithmetic, the launcher-only write rule on the
+shared incumbent, versioned wire messages, the at-least-once RPC
+discipline, simulator determinism, non-blocking asyncio bodies, and
+the strictly-typed core perimeter.  ``docs/static-analysis.md``
+documents every rule with the bug that motivated it.
+"""
+
+from repro.tools.check.core import (
+    CheckError,
+    CheckResult,
+    FileContext,
+    RULES,
+    Rule,
+    Suppression,
+    Violation,
+    check_paths,
+)
+
+# Importing the rules module registers every rule in RULES.
+from repro.tools.check import rules as _rules  # noqa: F401
+
+__all__ = [
+    "CheckError",
+    "CheckResult",
+    "FileContext",
+    "RULES",
+    "Rule",
+    "Suppression",
+    "Violation",
+    "check_paths",
+]

@@ -1,0 +1,5 @@
+"""``python -m repro.tools.check`` — run the checker without installing."""
+
+from repro.tools.check.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,54 @@
+"""Reporters for ``repro check`` results: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import Optional, Sequence
+
+from repro.tools.check.core import CheckResult, Rule
+
+__all__ = ["render_text", "render_json", "render_rule_list"]
+
+
+def render_text(result: CheckResult, *, verbose: bool = False) -> str:
+    """One ``path:line:col: CODE message`` line per violation + summary."""
+    lines = [violation.format() for violation in result.violations]
+    for error in result.errors:
+        lines.append(f"{error.path}: error: {error.message}")
+    if result.clean:
+        lines.append(
+            f"repro-check: {result.files_checked} file(s) clean"
+        )
+    else:
+        lines.append(
+            f"repro-check: {len(result.violations)} violation(s), "
+            f"{len(result.errors)} error(s) in "
+            f"{result.files_checked} file(s)"
+        )
+    return "\n".join(lines)
+
+
+def render_json(result: CheckResult) -> str:
+    return json.dumps(
+        {
+            "files_checked": result.files_checked,
+            "violations": [v.as_dict() for v in result.violations],
+            "errors": [
+                {"path": e.path, "message": e.message} for e in result.errors
+            ],
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def render_rule_list(rules: Sequence[Rule], select: Optional[Sequence[str]] = None) -> str:
+    """The ``--list-rules`` table: code, title, and the invariant."""
+    wanted = None if select is None else {code.upper() for code in select}
+    lines = []
+    for rule in rules:
+        if wanted is not None and rule.code not in wanted:
+            continue
+        lines.append(f"{rule.code}  {rule.title}")
+        lines.append(f"      {rule.invariant}")
+    return "\n".join(lines)

@@ -1,0 +1,592 @@
+"""The project-specific rules of ``repro check``.
+
+Each rule pins an invariant that an earlier PR of this repository
+learned the hard way — see ``docs/static-analysis.md`` for the full
+story behind every code.  Rules are deliberately narrow: they match
+this repository's layout and naming conventions, which is what makes
+them precise enough to run with zero tolerated violations.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.tools.check.core import FileContext, Rule, Violation, _match, register
+
+__all__ = [
+    "IntExactIntervals",
+    "SharedBoundWriteDiscipline",
+    "VersionedWireMessages",
+    "RawSendOutsideRetryHelper",
+    "SimulatorDeterminism",
+    "NoBlockingIOInAsync",
+    "TypedCoreDiscipline",
+]
+
+
+def _identifiers(node: ast.AST) -> Set[str]:
+    """Every Name id and Attribute attr mentioned under ``node``."""
+    found: Set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            found.add(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            found.add(sub.attr)
+    return found
+
+
+def _is_float_constant(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+@register
+class IntExactIntervals(Rule):
+    """RC01 — interval/number arithmetic must stay int-exact.
+
+    The wire format and the checkpoint files carry leaf numbers up to
+    ``50!``; a single float creeping into an interval endpoint or a
+    tree weight silently rounds it (floats hold 53 bits) and the
+    §4.1 covering invariant is gone.  In the pure number-coding
+    modules *any* ``/``, ``float()`` or float literal is flagged; in
+    the wider grid/ scope only expressions touching interval-ish
+    identifiers are, so wall-clock floats stay legal there.
+    """
+
+    code: ClassVar[str] = "RC01"
+    title: ClassVar[str] = "interval arithmetic must stay int-exact"
+    invariant: ClassVar[str] = (
+        "interval endpoints and tree weights are exact bignum ints "
+        "(PAPER eq. 1-9; floats round above 2**53)"
+    )
+    #: Modules where numbers are leaf counts by definition: zero floats.
+    exact_scope: ClassVar[Tuple[str, ...]] = (
+        "repro/core/interval.py",
+        "repro/core/tree.py",
+        "repro/core/numbering.py",
+        "repro/core/fold.py",
+        "repro/core/unfold.py",
+    )
+    #: Modules where floats are legal (clocks, costs) but must not mix
+    #: with interval-ish values.
+    tainted_scope: ClassVar[Tuple[str, ...]] = (
+        "repro/core/interval_set.py",
+        "repro/grid/*.py",
+    )
+    scope: ClassVar[Tuple[str, ...]] = exact_scope + tainted_scope
+
+    #: Identifiers that mark a value as an interval endpoint / weight.
+    TAINTED: ClassVar[FrozenSet[str]] = frozenset(
+        {
+            "begin",
+            "end",
+            "interval",
+            "intervals",
+            "root_interval",
+            "remaining_interval",
+            "consumed",
+            "weight",
+            "weights",
+            "leaves",
+            "total_leaves",
+            "leaf_number",
+        }
+    )
+
+    def _tainted(self, node: ast.AST) -> bool:
+        return bool(_identifiers(node) & self.TAINTED)
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        exact = any(_match(ctx.rel, p) for p in self.exact_scope)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.BinOp, ast.AugAssign)) and isinstance(
+                node.op, ast.Div
+            ):
+                if exact or self._tainted(node):
+                    yield self.violation(
+                        ctx,
+                        node,
+                        "true division on interval arithmetic — "
+                        "use // to stay int-exact",
+                    )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "float"
+            ):
+                if exact or any(self._tainted(arg) for arg in node.args):
+                    yield self.violation(
+                        ctx,
+                        node,
+                        "float() conversion of an interval-valued "
+                        "expression loses exactness above 2**53",
+                    )
+            elif exact and _is_float_constant(node):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"float literal {node.value!r} in an int-exact "
+                    "number-coding module",
+                )
+            elif not exact and isinstance(node, (ast.BinOp, ast.Compare)):
+                operands: List[ast.AST] = (
+                    [node.left, node.right]
+                    if isinstance(node, ast.BinOp)
+                    else [node.left, *node.comparators]
+                )
+                floats = [op for op in operands if _is_float_constant(op)]
+                others = [op for op in operands if not _is_float_constant(op)]
+                if floats and any(self._tainted(op) for op in others):
+                    yield self.violation(
+                        ctx,
+                        floats[0],
+                        "float literal mixed into interval arithmetic",
+                    )
+
+
+@register
+class SharedBoundWriteDiscipline(Rule):
+    """RC02 — only the launcher writes the shared incumbent.
+
+    Pins the PR 3 post-review fix: a worker that offered its own cost
+    before the Push round-trip could crash in the window and leave a
+    bound that prunes the equal-cost optimum everywhere while the
+    solution died with it.  Workers are strictly readers; the launcher
+    broadcasts ``SOLUTION``'s cost only after the Push is handled.
+    """
+
+    code: ClassVar[str] = "RC02"
+    title: ClassVar[str] = "SharedBound writes are launcher-only"
+    invariant: ClassVar[str] = (
+        "the advisory incumbent cell never holds a cost whose solution "
+        "the coordinator lacks (PR 3 lost-solution fix)"
+    )
+    scope: ClassVar[Tuple[str, ...]] = ("repro/grid/*.py",)
+    #: The sole legitimate writer, and the defining module itself.
+    allowed: ClassVar[Tuple[str, ...]] = (
+        "repro/grid/runtime/launcher.py",
+        "repro/grid/runtime/shared.py",
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if any(_match(ctx.rel, p) for p in self.allowed):
+            return
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "offer"
+            ):
+                yield self.violation(
+                    ctx,
+                    node,
+                    ".offer() outside the launcher — workers are "
+                    "read-only on the shared incumbent (a crash between "
+                    "offer() and Push loses the solution)",
+                )
+
+
+@register
+class VersionedWireMessages(Rule):
+    """RC03 — wire dataclasses carry ``version`` and are codec-registered.
+
+    PR 4's framing refuses frames from the future by reading each
+    message's explicit ``version`` field; a message without one decodes
+    as v1 forever, and one missing from ``_WIRE_TYPES`` cannot travel
+    over TCP at all (it only works over fork, a mixed-transport trap).
+    """
+
+    code: ClassVar[str] = "RC03"
+    title: ClassVar[str] = "protocol messages are versioned and registered"
+    invariant: ClassVar[str] = (
+        "every wire dataclass has an explicit version field and a "
+        "_WIRE_TYPES registration (PR 4 framing contract)"
+    )
+    scope: ClassVar[Tuple[str, ...]] = (
+        "repro/grid/runtime/protocol.py",
+        "repro/grid/net/framing.py",
+    )
+
+    def __init__(self) -> None:
+        self._registry: Optional[Set[str]] = None
+
+    # -------------------------------------------------------- phase 1
+    def collect(self, ctx: FileContext) -> None:
+        if _match(ctx.rel, "*framing.py"):
+            registry = self._parse_registry(ctx.tree)
+            if registry is not None:
+                self._registry = registry
+
+    @staticmethod
+    def _parse_registry(tree: ast.Module) -> Optional[Set[str]]:
+        """Names registered in the ``_WIRE_TYPES`` codec dict."""
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            targets = [
+                t.id for t in node.targets if isinstance(t, ast.Name)
+            ]
+            if "_WIRE_TYPES" not in targets:
+                continue
+            names: Set[str] = set()
+            if isinstance(node.value, ast.DictComp):
+                source: ast.AST = node.value.generators[0].iter
+            else:
+                source = node.value
+            for sub in ast.walk(source):
+                if isinstance(sub, ast.Name) and sub.id != "cls":
+                    names.add(sub.id)
+            return names
+        return None
+
+    # -------------------------------------------------------- phase 2
+    def _registry_for(self, ctx: FileContext) -> Optional[Set[str]]:
+        if self._registry is not None:
+            return self._registry
+        # Checking protocol.py alone: resolve the sibling framing.py.
+        framing = ctx.path.resolve().parent.parent / "net" / "framing.py"
+        if framing.exists():
+            try:
+                self._registry = self._parse_registry(
+                    ast.parse(framing.read_text(encoding="utf-8"))
+                )
+            except (OSError, SyntaxError):
+                self._registry = None
+        return self._registry
+
+    @staticmethod
+    def _dataclasses(tree: ast.Module) -> Iterator[ast.ClassDef]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for deco in node.decorator_list:
+                target = deco.func if isinstance(deco, ast.Call) else deco
+                name = (
+                    target.id
+                    if isinstance(target, ast.Name)
+                    else target.attr
+                    if isinstance(target, ast.Attribute)
+                    else None
+                )
+                if name == "dataclass":
+                    yield node
+                    break
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        registry = self._registry_for(ctx)
+        for cls in self._dataclasses(ctx.tree):
+            fields = {
+                stmt.target.id
+                for stmt in cls.body
+                if isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+            }
+            registered = registry is not None and cls.name in registry
+            # A dataclass is a wire message when the codec knows it or
+            # when it carries the protocol's ``seq`` field; plain value
+            # types (e.g. ProblemSpec) are neither.
+            if not registered and "seq" not in fields:
+                continue
+            if "version" not in fields:
+                yield self.violation(
+                    ctx,
+                    cls,
+                    f"wire message {cls.name} lacks an explicit "
+                    "'version' field (decoders cannot refuse future "
+                    "frames without one)",
+                )
+            if registry is not None and not registered:
+                yield self.violation(
+                    ctx,
+                    cls,
+                    f"wire message {cls.name} is not registered in "
+                    "_WIRE_TYPES — it cannot travel over the network "
+                    "transports",
+                )
+
+
+@register
+class RawSendOutsideRetryHelper(Rule):
+    """RC04 — worker RPCs go through the ``_RpcChannel`` retry helper.
+
+    PR 1's at-least-once discipline (same-seq retries, the
+    coordinator's reply cache) only holds if every message is stamped
+    and retried by the helper; a raw ``connection.send`` bypasses the
+    seq counter and can wedge the single-outstanding pipeline.
+    """
+
+    code: ClassVar[str] = "RC04"
+    title: ClassVar[str] = "no raw sends outside the RPC retry helper"
+    invariant: ClassVar[str] = (
+        "every worker->coordinator message is an at-least-once RPC "
+        "(PR 1 seq/retry discipline)"
+    )
+    scope: ClassVar[Tuple[str, ...]] = ("repro/grid/runtime/bbprocess.py",)
+    helper_class: ClassVar[str] = "_RpcChannel"
+
+    @classmethod
+    def _helper_names(cls, tree: ast.Module) -> Set[str]:
+        """Local names bound to a ``_RpcChannel(...)`` instance.
+
+        ``chan.send(...)`` *is* the retry helper (its ``send`` stamps a
+        seq and arms ``collect``); only sends on anything else bypass
+        the at-least-once machinery.
+        """
+        names: Set[str] = set()
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Assign)
+                and isinstance(node.value, ast.Call)
+                and isinstance(node.value.func, ast.Name)
+                and node.value.func.id == cls.helper_class
+            ):
+                names.update(
+                    t.id for t in node.targets if isinstance(t, ast.Name)
+                )
+        return names
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        helpers = self._helper_names(ctx.tree)
+        yield from self._walk(ctx, ctx.tree, helpers, inside_helper=False)
+
+    def _walk(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        helpers: Set[str],
+        inside_helper: bool,
+    ) -> Iterator[Violation]:
+        for child in ast.iter_child_nodes(node):
+            inside = inside_helper or (
+                isinstance(child, ast.ClassDef)
+                and child.name == self.helper_class
+            )
+            if (
+                not inside
+                and isinstance(child, ast.Call)
+                and isinstance(child.func, ast.Attribute)
+                and child.func.attr == "send"
+                and not (
+                    isinstance(child.func.value, ast.Name)
+                    and child.func.value.id in helpers
+                )
+            ):
+                yield self.violation(
+                    ctx,
+                    child,
+                    "raw .send() outside _RpcChannel — unstamped, "
+                    "unretried messages break the at-least-once protocol",
+                )
+            yield from self._walk(ctx, child, helpers, inside)
+
+
+@register
+class SimulatorDeterminism(Rule):
+    """RC05 — the simulator draws no unseeded randomness or wall time.
+
+    Chaos schedules and Table 2 reproductions replay byte-identically
+    only because every stochastic source is a seeded ``random.Random``
+    and every clock is virtual.  ``random.<fn>()`` module calls share
+    one ambient global state, and ``time.time()`` reads the host.
+    """
+
+    code: ClassVar[str] = "RC05"
+    title: ClassVar[str] = "simulator determinism discipline"
+    invariant: ClassVar[str] = (
+        "simulation runs replay exactly from their seed (Table 2 / "
+        "chaos schedules)"
+    )
+    scope: ClassVar[Tuple[str, ...]] = ("repro/grid/simulator/*.py",)
+    #: --strict extends the no-global-randomness part to benchmarks
+    #: and examples, whose results are committed / copy-pasted.
+    strict_scope: ClassVar[Tuple[str, ...]] = (
+        "benchmarks/*.py",
+        "examples/*.py",
+    )
+
+    UNSEEDED: ClassVar[FrozenSet[str]] = frozenset(
+        {
+            "betavariate",
+            "choice",
+            "choices",
+            "expovariate",
+            "gauss",
+            "getrandbits",
+            "lognormvariate",
+            "normalvariate",
+            "paretovariate",
+            "randint",
+            "random",
+            "randrange",
+            "sample",
+            "seed",
+            "shuffle",
+            "triangular",
+            "uniform",
+            "vonmisesvariate",
+            "weibullvariate",
+        }
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        in_simulator = any(_match(ctx.rel, p) for p in self.scope)
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+            ):
+                continue
+            owner, attr = node.func.value.id, node.func.attr
+            if owner == "random" and attr in self.UNSEEDED:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"random.{attr}() uses the ambient global RNG — "
+                    "thread a seeded random.Random instance instead",
+                )
+            elif in_simulator and owner == "time" and attr == "time":
+                yield self.violation(
+                    ctx,
+                    node,
+                    "time.time() reads the wall clock inside the "
+                    "simulator — use the virtual clock",
+                )
+
+
+@register
+class NoBlockingIOInAsync(Rule):
+    """RC06 — no blocking socket/file I/O inside ``async def`` bodies.
+
+    The TCP listener runs one asyncio loop for *every* connected
+    worker; one blocking call inside a coroutine stalls heartbeat
+    processing for the whole fleet and turns the half-open-peer
+    detector into a half-open-server generator.
+    """
+
+    code: ClassVar[str] = "RC06"
+    title: ClassVar[str] = "async bodies never block"
+    invariant: ClassVar[str] = (
+        "the listener's event loop services every peer; blocking calls "
+        "freeze heartbeats fleet-wide"
+    )
+    scope: ClassVar[Tuple[str, ...]] = ("repro/grid/net/*.py",)
+
+    #: module-level calls that always block
+    BLOCKING_MODULE_CALLS: ClassVar[Dict[str, FrozenSet[str]]] = {
+        "time": frozenset({"sleep"}),
+        "socket": frozenset(
+            {
+                "socket",
+                "create_connection",
+                "getaddrinfo",
+                "gethostbyname",
+                "gethostbyaddr",
+            }
+        ),
+        "subprocess": frozenset({"run", "call", "check_call", "check_output"}),
+    }
+    #: method names that only exist on blocking socket/file objects
+    BLOCKING_METHODS: ClassVar[FrozenSet[str]] = frozenset(
+        {"accept", "makefile", "recv", "recv_into", "recvfrom", "sendall"}
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        yield from self._walk(ctx, ctx.tree, in_async=False)
+
+    def _walk(
+        self, ctx: FileContext, node: ast.AST, in_async: bool
+    ) -> Iterator[Violation]:
+        for child in ast.iter_child_nodes(node):
+            inside = in_async or isinstance(child, ast.AsyncFunctionDef)
+            if in_async and isinstance(child, ast.Call):
+                yield from self._check_call(ctx, child)
+            yield from self._walk(ctx, child, inside)
+
+    def _check_call(
+        self, ctx: FileContext, node: ast.Call
+    ) -> Iterator[Violation]:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "open":
+            yield self.violation(
+                ctx, node, "blocking open() inside an async def"
+            )
+        elif isinstance(func, ast.Attribute):
+            if isinstance(func.value, ast.Name):
+                blocked = self.BLOCKING_MODULE_CALLS.get(func.value.id)
+                if blocked is not None and func.attr in blocked:
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"blocking {func.value.id}.{func.attr}() inside "
+                        "an async def stalls the whole listener loop",
+                    )
+                    return
+            if func.attr in self.BLOCKING_METHODS:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"blocking .{func.attr}() inside an async def — "
+                    "use the asyncio stream APIs",
+                )
+
+
+@register
+class TypedCoreDiscipline(Rule):
+    """RC07 — the strictly-typed core keeps complete annotations.
+
+    ``mypy --strict`` guards these modules in CI, but mypy is an
+    optional dev dependency; this rule keeps the biggest strict-mode
+    regression class (untyped defs creeping in) catchable by
+    ``make check`` alone, offline images included.
+    """
+
+    code: ClassVar[str] = "RC07"
+    title: ClassVar[str] = "typed-core functions are fully annotated"
+    invariant: ClassVar[str] = (
+        "the engine/interval/runtime/net perimeter stays mypy-strict "
+        "clean; unannotated defs are its largest regression class"
+    )
+    scope: ClassVar[Tuple[str, ...]] = (
+        "repro/core/engine.py",
+        "repro/core/interval.py",
+        "repro/core/tree.py",
+        "repro/core/operators.py",
+        "repro/core/stats.py",
+        "repro/core/problem.py",
+        "repro/grid/runtime/*.py",
+        "repro/grid/net/*.py",
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            args = node.args
+            params: List[ast.arg] = [
+                *args.posonlyargs,
+                *args.args,
+                *args.kwonlyargs,
+            ]
+            if params and params[0].arg in ("self", "cls"):
+                params = params[1:]
+            if args.vararg is not None:
+                params.append(args.vararg)
+            if args.kwarg is not None:
+                params.append(args.kwarg)
+            missing = [p.arg for p in params if p.annotation is None]
+            if missing:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"def {node.name}: parameter(s) "
+                    f"{', '.join(missing)} lack type annotations "
+                    "(typed-core module)",
+                )
+            if node.returns is None and node.name != "__init__":
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"def {node.name}: missing return annotation "
+                    "(typed-core module)",
+                )

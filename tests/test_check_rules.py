@@ -1,0 +1,579 @@
+"""The ``repro check`` static-analysis pass: every rule, both ways.
+
+Each rule gets a *positive* fixture (a seeded violation flagged at the
+right file:line), a *negative* fixture (idiomatic clean code passes),
+and the suppression machinery is exercised end to end (reasoned
+ignores silence, reasonless ones become RC00).  A final test runs the
+real checker over the live tree exactly like ``make check`` does, so
+the repository itself can never drift into violation.
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.tools.check import RULES, check_paths
+from repro.tools.check.cli import main as check_main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def run_check(tmp_path, rel, source, *, strict=False, select=None):
+    """Write ``source`` at a repo-shaped relative path and check it."""
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return check_paths([path], strict=strict, select=select)
+
+
+def marker(code, reason=None):
+    """Build an ignore comment at runtime.
+
+    Concatenated so the literal marker never appears in *this* file —
+    the live-tree test scans it, and the suppression scanner reads raw
+    source lines (string literals included).
+    """
+    tail = f" -- {reason}" if reason else ""
+    return "# repro-check: " + f"ignore[{code}]{tail}"
+
+
+def codes(result):
+    return [v.rule for v in result.violations]
+
+
+# ----------------------------------------------------------------------
+# RC01 — int-exact interval arithmetic
+
+
+def test_rc01_flags_true_division_in_exact_module(tmp_path):
+    result = run_check(
+        tmp_path,
+        "repro/core/tree.py",
+        """\
+        def subtree_weight(total, fanout):
+            return total / fanout
+        """,
+        select=["RC01"],
+    )
+    assert codes(result) == ["RC01"]
+    assert result.violations[0].line == 2
+    assert "//" in result.violations[0].message
+
+
+def test_rc01_flags_float_literal_and_cast_in_exact_module(tmp_path):
+    result = run_check(
+        tmp_path,
+        "repro/core/numbering.py",
+        """\
+        SCALE = 1.5
+
+        def approx(n):
+            return float(n)
+        """,
+        select=["RC01"],
+    )
+    assert codes(result) == ["RC01", "RC01"]
+    assert [v.line for v in result.violations] == [1, 4]
+
+
+def test_rc01_clean_floor_division_passes(tmp_path):
+    result = run_check(
+        tmp_path,
+        "repro/core/interval.py",
+        """\
+        def midpoint(begin, end):
+            return begin + (end - begin) // 2
+        """,
+        select=["RC01"],
+    )
+    assert result.clean
+
+
+def test_rc01_grid_scope_only_flags_interval_touching_expressions(tmp_path):
+    result = run_check(
+        tmp_path,
+        "repro/grid/runtime/metrics.py",
+        """\
+        def throughput(nodes, elapsed):
+            return nodes / elapsed
+
+        def bad_split(interval):
+            return (interval.begin + interval.end) / 2
+        """,
+        select=["RC01"],
+    )
+    # Wall-clock division is legal in grid/; interval arithmetic is not.
+    assert codes(result) == ["RC01"]
+    assert result.violations[0].line == 5
+
+
+def test_rc01_flags_float_literal_mixed_into_interval_compare(tmp_path):
+    result = run_check(
+        tmp_path,
+        "repro/grid/runtime/balance.py",
+        """\
+        def overloaded(weight):
+            return weight > 0.5
+        """,
+        select=["RC01"],
+    )
+    assert codes(result) == ["RC01"]
+    assert result.violations[0].line == 2
+
+
+# ----------------------------------------------------------------------
+# RC02 — launcher-only SharedBound writes
+
+
+def test_rc02_flags_offer_outside_launcher(tmp_path):
+    result = run_check(
+        tmp_path,
+        "repro/grid/runtime/bbprocess.py",
+        """\
+        def report(shared, cost):
+            shared.offer(cost)
+        """,
+        select=["RC02"],
+    )
+    assert codes(result) == ["RC02"]
+    assert result.violations[0].line == 2
+    assert "read-only" in result.violations[0].message
+
+
+def test_rc02_allows_offer_in_launcher(tmp_path):
+    result = run_check(
+        tmp_path,
+        "repro/grid/runtime/launcher.py",
+        """\
+        def broadcast(shared, cost):
+            shared.offer(cost)
+        """,
+        select=["RC02"],
+    )
+    assert result.clean
+
+
+# ----------------------------------------------------------------------
+# RC03 — versioned, codec-registered wire messages
+
+
+RC03_FRAMING = """\
+_WIRE_TYPES = {cls.__name__: cls for cls in (Request, Update, Rogue)}
+"""
+
+RC03_PROTOCOL = """\
+from dataclasses import dataclass
+
+
+@dataclass
+class Request:
+    worker: str
+    seq: int = 0
+    version: int = 1
+
+
+@dataclass
+class Unversioned:
+    worker: str
+    seq: int = 0
+
+
+@dataclass
+class Unregistered:
+    worker: str
+    seq: int = 0
+    version: int = 1
+
+
+@dataclass
+class PlainValue:
+    payload: str
+"""
+
+
+def _rc03_tree(tmp_path, protocol_source):
+    protocol = tmp_path / "repro/grid/runtime/protocol.py"
+    framing = tmp_path / "repro/grid/net/framing.py"
+    protocol.parent.mkdir(parents=True)
+    framing.parent.mkdir(parents=True)
+    protocol.write_text(textwrap.dedent(protocol_source))
+    framing.write_text(
+        RC03_FRAMING.replace("Update", "Unversioned")
+    )
+    return [protocol, framing]
+
+
+def test_rc03_flags_unversioned_and_unregistered_messages(tmp_path):
+    result = check_paths(_rc03_tree(tmp_path, RC03_PROTOCOL), select=["RC03"])
+    found = {(v.line, v.rule): v.message for v in result.violations}
+    # Unversioned (registered, no version field) at its class line.
+    assert any("Unversioned" in m and "version" in m for m in found.values())
+    # Unregistered (has seq, not in _WIRE_TYPES).
+    assert any("Unregistered" in m and "_WIRE_TYPES" in m for m in found.values())
+    # Request is fine; PlainValue (no seq, not registered) is exempt.
+    assert not any("Request" in m for m in found.values())
+    assert not any("PlainValue" in m for m in found.values())
+    assert len(result.violations) == 2
+
+
+def test_rc03_violations_anchor_on_the_class_definition(tmp_path):
+    result = check_paths(_rc03_tree(tmp_path, RC03_PROTOCOL), select=["RC03"])
+    lines = sorted(v.line for v in result.violations)
+    text = textwrap.dedent(RC03_PROTOCOL).splitlines()
+    assert [text[line - 1] for line in lines] == [
+        "class Unversioned:",
+        "class Unregistered:",
+    ]
+
+
+def test_rc03_clean_protocol_passes(tmp_path):
+    clean = """\
+    from dataclasses import dataclass
+
+
+    @dataclass
+    class Request:
+        worker: str
+        seq: int = 0
+        version: int = 1
+    """
+    protocol = tmp_path / "repro/grid/runtime/protocol.py"
+    framing = tmp_path / "repro/grid/net/framing.py"
+    protocol.parent.mkdir(parents=True)
+    framing.parent.mkdir(parents=True)
+    protocol.write_text(textwrap.dedent(clean))
+    framing.write_text("_WIRE_TYPES = {cls.__name__: cls for cls in (Request,)}\n")
+    assert check_paths([protocol, framing], select=["RC03"]).clean
+
+
+# ----------------------------------------------------------------------
+# RC04 — no raw sends outside the retry helper
+
+
+def test_rc04_flags_raw_send_but_not_helper_traffic(tmp_path):
+    result = run_check(
+        tmp_path,
+        "repro/grid/runtime/bbprocess.py",
+        """\
+        class _RpcChannel:
+            def send(self, message):
+                self._connection.send(message)
+
+
+        def worker_loop(connection):
+            chan = _RpcChannel()
+            chan.send("request")
+            connection.send("rogue")
+        """,
+        select=["RC04"],
+    )
+    # Inside the helper class and via a helper instance: both fine.
+    # The raw connection.send is the one violation.
+    assert codes(result) == ["RC04"]
+    assert result.violations[0].line == 9
+
+
+def test_rc04_out_of_scope_module_ignored(tmp_path):
+    result = run_check(
+        tmp_path,
+        "repro/grid/runtime/launcher.py",
+        """\
+        def reply(listener, worker):
+            listener.send(worker, "grant")
+        """,
+        select=["RC04"],
+    )
+    assert result.clean
+
+
+# ----------------------------------------------------------------------
+# RC05 — simulator determinism
+
+
+def test_rc05_flags_global_rng_and_wall_clock_in_simulator(tmp_path):
+    result = run_check(
+        tmp_path,
+        "repro/grid/simulator/network.py",
+        """\
+        import random
+        import time
+
+
+        def jitter():
+            return random.random() + time.time()
+        """,
+        select=["RC05"],
+    )
+    assert codes(result) == ["RC05", "RC05"]
+    assert all(v.line == 6 for v in result.violations)
+
+
+def test_rc05_seeded_rng_and_virtual_clock_pass(tmp_path):
+    result = run_check(
+        tmp_path,
+        "repro/grid/simulator/network.py",
+        """\
+        import random
+
+
+        def jitter(rng: random.Random, clock):
+            return rng.random() + clock.now()
+        """,
+        select=["RC05"],
+    )
+    assert result.clean
+
+
+def test_rc05_strict_extends_to_benchmarks_but_not_wall_clock(tmp_path):
+    source = """\
+    import random
+    import time
+
+
+    def pick():
+        return random.choice([1, 2]), time.time()
+    """
+    rel = "benchmarks/bench_pick.py"
+    relaxed = run_check(tmp_path, rel, source, select=["RC05"])
+    strict = run_check(tmp_path, rel, source, strict=True, select=["RC05"])
+    assert relaxed.clean  # benchmarks are out of scope without --strict
+    # Under --strict the global RNG is flagged; wall time stays legal
+    # outside the simulator (benchmarks measure it on purpose).
+    assert codes(strict) == ["RC05"]
+    assert "random.choice" in strict.violations[0].message
+
+
+# ----------------------------------------------------------------------
+# RC06 — no blocking I/O in async bodies
+
+
+def test_rc06_flags_blocking_calls_inside_async_def(tmp_path):
+    result = run_check(
+        tmp_path,
+        "repro/grid/net/tcp.py",
+        """\
+        import socket
+        import time
+
+
+        async def handle(reader, sock):
+            time.sleep(0.1)
+            data = sock.recv(4)
+            with open("dump.bin", "wb") as fh:
+                fh.write(data)
+
+
+        def sync_path(sock):
+            return sock.recv(4)
+        """,
+        select=["RC06"],
+    )
+    assert codes(result) == ["RC06", "RC06", "RC06"]
+    assert [v.line for v in result.violations] == [6, 7, 8]
+    # The same .recv() outside async is untouched.
+    assert all(v.line != 13 for v in result.violations)
+
+
+def test_rc06_asyncio_idioms_pass(tmp_path):
+    result = run_check(
+        tmp_path,
+        "repro/grid/net/tcp.py",
+        """\
+        import asyncio
+
+
+        async def handle(reader, writer):
+            data = await reader.readexactly(4)
+            writer.write(data)
+            await writer.drain()
+            await asyncio.sleep(0.1)
+        """,
+        select=["RC06"],
+    )
+    assert result.clean
+
+
+# ----------------------------------------------------------------------
+# RC07 — typed-core annotation discipline
+
+
+def test_rc07_flags_unannotated_defs_in_typed_core(tmp_path):
+    result = run_check(
+        tmp_path,
+        "repro/core/engine.py",
+        """\
+        def annotated(x: int) -> int:
+            return x
+
+
+        def bare(x):
+            return x
+
+
+        class Engine:
+            def __init__(self, depth: int):
+                self.depth = depth
+
+            def step(self):
+                return self.depth
+        """,
+        select=["RC07"],
+    )
+    # bare(): params + return; Engine.step(): return.  __init__ needs
+    # no return annotation and self never counts as a parameter.
+    assert codes(result) == ["RC07", "RC07", "RC07"]
+    assert [v.line for v in result.violations] == [5, 5, 13]
+
+
+def test_rc07_out_of_scope_module_is_ignored(tmp_path):
+    result = run_check(
+        tmp_path,
+        "repro/analysis/report.py",
+        "def untyped(x):\n    return x\n",
+        select=["RC07"],
+    )
+    assert result.clean
+
+
+# ----------------------------------------------------------------------
+# Suppressions and RC00
+
+
+def test_reasoned_suppression_silences_the_violation(tmp_path):
+    source = """\
+    def report(shared, cost):
+        shared.offer(cost)  MARKER
+    """.replace("MARKER", marker("RC02", "fixture exercising the ignore path"))
+    result = run_check(
+        tmp_path, "repro/grid/runtime/bbprocess.py", source, select=["RC02"]
+    )
+    assert result.clean
+
+
+def test_reasoned_suppression_on_preceding_comment_line(tmp_path):
+    source = """\
+    def report(shared, cost):
+        MARKER
+        shared.offer(cost)
+    """.replace("MARKER", marker("RC02", "fixture exercising the ignore path"))
+    result = run_check(
+        tmp_path, "repro/grid/runtime/bbprocess.py", source, select=["RC02"]
+    )
+    assert result.clean
+
+
+def test_trailing_suppression_does_not_leak_to_the_next_line(tmp_path):
+    source = """\
+    def report(shared, cost):
+        staged = cost  MARKER
+        shared.offer(staged)
+    """.replace("MARKER", marker("RC02", "anchored to the wrong line"))
+    result = run_check(
+        tmp_path, "repro/grid/runtime/bbprocess.py", source, select=["RC02"]
+    )
+    assert codes(result) == ["RC02"]
+
+
+def test_reasonless_suppression_is_rc00_and_does_not_suppress(tmp_path):
+    source = """\
+    def report(shared, cost):
+        shared.offer(cost)  MARKER
+    """.replace("MARKER", marker("RC02"))
+    result = run_check(
+        tmp_path, "repro/grid/runtime/bbprocess.py", source, select=["RC02"]
+    )
+    assert sorted(codes(result)) == ["RC00", "RC02"]
+
+
+def test_unknown_rule_code_in_suppression_is_rc00(tmp_path):
+    source = "x = 1  MARKER\n".replace(
+        "MARKER", marker("RC99", "no such rule")
+    )
+    result = run_check(
+        tmp_path, "repro/core/interval.py", source, select=["RC01"]
+    )
+    assert codes(result) == ["RC00"]
+    assert "RC99" in result.violations[0].message
+
+
+def test_prose_mention_of_ignore_syntax_is_not_a_suppression(tmp_path):
+    source = '"""Docs quoting the marker: MARKER."""\n'.replace(
+        "MARKER", marker("RULE")
+    )
+    result = run_check(
+        tmp_path, "repro/core/interval.py", source, select=["RC01"]
+    )
+    assert result.clean
+
+
+# ----------------------------------------------------------------------
+# Framework behavior
+
+
+def test_unknown_select_code_raises(tmp_path):
+    (tmp_path / "mod.py").write_text("x = 1\n")
+    with pytest.raises(ValueError):
+        check_paths([tmp_path / "mod.py"], select=["RC42"])
+
+
+def test_syntax_error_reports_check_error_exit_2(tmp_path):
+    bad = tmp_path / "repro/core/interval.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("def broken(:\n")
+    result = check_paths([bad])
+    assert result.errors and result.exit_code() == 2
+
+
+def test_every_rule_registered_with_metadata():
+    assert sorted(RULES) == [f"RC0{i}" for i in range(1, 8)]
+    for code, cls in RULES.items():
+        assert cls.code == code
+        assert cls.title and cls.invariant and cls.scope
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+
+
+def test_cli_json_format_and_exit_code(tmp_path, capsys):
+    target = tmp_path / "repro/grid/runtime/other.py"
+    target.parent.mkdir(parents=True)
+    target.write_text("def f(shared, cost):\n    shared.offer(cost)\n")
+    exit_code = check_main(
+        [str(target), "--select", "RC02", "--format", "json"]
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert exit_code == 1
+    assert payload["files_checked"] == 1
+    assert [v["rule"] for v in payload["violations"]] == ["RC02"]
+    assert payload["violations"][0]["line"] == 2
+
+
+def test_cli_list_rules(capsys):
+    assert check_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in RULES:
+        assert code in out
+
+
+def test_cli_rejects_unknown_select_and_missing_path(tmp_path, capsys):
+    assert check_main([str(tmp_path), "--select", "RC42"]) == 2
+    assert check_main([str(tmp_path / "nowhere")]) == 2
+
+
+# ----------------------------------------------------------------------
+# The live tree stays clean — exactly what `make check` enforces.
+
+
+def test_live_tree_is_violation_free():
+    paths = [
+        REPO_ROOT / part
+        for part in ("src", "tests", "benchmarks", "examples")
+        if (REPO_ROOT / part).exists()
+    ]
+    result = check_paths(paths, strict=True)
+    assert result.files_checked > 100
+    assert result.errors == []
+    assert [v.format() for v in result.violations] == []
