@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install lint check typecheck test chaos chaos-net bench bench-show bench-engine bench-parallel bench-net report examples clean
+.PHONY: install lint check typecheck test chaos chaos-net chaos-kill bench bench-show bench-engine bench-parallel bench-net bench-recovery report examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -16,7 +16,7 @@ lint:
 		echo "ruff not installed; skipping lint (pip install -e '.[dev]')"; \
 	fi
 
-# Project-specific invariants (RC01..RC07): the repro-check pass ships
+# Project-specific invariants (RC01..RC08): the repro-check pass ships
 # with the package, so this runs everywhere — no extra install needed.
 check:
 	PYTHONPATH=src $(PYTHON) -m repro.tools.check src tests benchmarks examples --strict
@@ -44,6 +44,12 @@ chaos:
 chaos-net:
 	$(PYTHON) -m pytest tests/test_net_chaos.py -m "slow or not slow" -q -s
 
+# The kill -9 acceptance run (marked slow, excluded from tier-1): a
+# real serve process SIGKILLed mid-run, resumed from its checkpoint
+# directory while the supervisor respawns SIGKILLed workers.
+chaos-kill:
+	$(PYTHON) -m pytest tests/test_crash_recovery_e2e.py -m "slow or not slow" -q -s
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
@@ -64,6 +70,11 @@ bench-parallel:
 # loopback TCP, per-worker RPC-wait split.  Regenerates BENCH_PR4.json.
 bench-net:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_net_transport.py
+
+# Crash recovery: journal replay vs snapshot-only restart, plus the
+# replay-latency sweep.  Regenerates BENCH_PR6.json.
+bench-recovery:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_recovery.py
 
 report:
 	$(PYTHON) -m repro.cli report

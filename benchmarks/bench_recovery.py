@@ -1,0 +1,409 @@
+"""Crash-recovery cost — journal replay vs snapshot-only restarts.
+
+PR 6's tentpole put an append-only reconciliation journal between the
+§4.1 snapshot pair.  This benchmark prices the claim behind it: after
+a crash, a successor that replays the journal should re-explore
+*strictly fewer* nodes than one restoring the last full snapshot
+alone, because the journal shrinks the recovery window from one
+``checkpoint_period`` to the last reconciled update.
+
+The measurement is fully deterministic.  A real single-worker run
+(the genuine :class:`~repro.core.engine.IntervalExplorer` driving a
+genuine :class:`~repro.grid.runtime.coordinator.Coordinator` with a
+real :class:`~repro.core.checkpoint.CheckpointStore`) is crashed after
+a fixed number of exploration slices, with full snapshots taken every
+``snapshot_every`` slices.  Recovery is then performed twice from the
+same directory — journal replay on and off — and each recovered state
+is *finished* with the sequential engine, so "nodes re-explored" is
+counted by the same node accounting the paper uses, not estimated
+from leaf ranges.  Both recoveries must still prove the serial
+optimum.
+
+A recovery-latency sweep (``load_state`` wall time against journals of
+growing length) prices the replay itself.
+
+Run it via ``make bench-recovery`` or directly::
+
+    PYTHONPATH=src python benchmarks/bench_recovery.py
+    PYTHONPATH=src python benchmarks/bench_recovery.py --quick
+
+The tier-1 smoke test (``tests/test_bench_recovery.py``) runs the
+``--quick`` configuration on every test run, so the
+journal-recovers-more guarantee cannot silently rot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import Incumbent, Interval, solve  # noqa: E402
+from repro.core.checkpoint import (  # noqa: E402
+    CheckpointStore,
+    JournalRecord,
+)
+from repro.core.engine import IntervalExplorer  # noqa: E402
+from repro.grid.runtime.coordinator import Coordinator  # noqa: E402
+from repro.grid.runtime.protocol import (  # noqa: E402
+    Push,
+    Request,
+    Update,
+)
+from repro.problems.flowshop import (  # noqa: E402
+    FlowShopProblem,
+    random_instance,
+)
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_PR6.json"
+
+
+def _workload(quick: bool) -> Dict[str, Any]:
+    if quick:
+        return {
+            "name": "quick-8x4",
+            "instance": random_instance(8, 4, seed=17),
+            "slice_nodes": 40,
+            # 10 % 3 != 0: the crash always lands *between* snapshots,
+            # so the journal always has a window to win back.
+            "crash_after_slices": 10,
+            "snapshot_every": (3,),
+        }
+    return {
+        "name": "full-11x5",
+        "instance": random_instance(11, 5, seed=3),
+        "slice_nodes": 2000,
+        "crash_after_slices": 21,
+        "snapshot_every": (4, 16),
+    }
+
+
+def _crashed_run(
+    instance: Any,
+    directory: Path,
+    slice_nodes: int,
+    crash_after_slices: int,
+    snapshot_every: int,
+) -> Dict[str, Any]:
+    """Run a real worker against a real store, then crash it.
+
+    Returns what the crash froze: the true remaining interval, the true
+    incumbent, and the counters a successor cannot see.
+    """
+    problem = FlowShopProblem(instance)
+    root = Interval(0, problem.total_leaves())
+    store = CheckpointStore(directory)
+    coordinator = Coordinator(
+        root,
+        duplication_threshold=0,
+        store=store,
+        checkpoint_period=float("inf"),  # snapshots are slice-counted
+        journal=True,
+    )
+    seq = 1
+    grant = coordinator.handle(Request("w0", 1.0, seq=seq))
+    explorer = IntervalExplorer(
+        problem, Interval.from_tuple(grant.interval), incumbent=Incumbent()
+    )
+    pushed = float("inf")
+    nodes_pre_crash = 0
+    for sliced in range(1, crash_after_slices + 1):
+        report = explorer.step(slice_nodes)
+        nodes_pre_crash += report.nodes_processed
+        if explorer.incumbent.cost < pushed:
+            pushed = explorer.incumbent.cost
+            seq += 1
+            coordinator.handle(
+                Push(
+                    "w0",
+                    explorer.incumbent.cost,
+                    explorer.incumbent.solution,
+                    seq=seq,
+                )
+            )
+        remaining = explorer.remaining_interval()
+        seq += 1
+        coordinator.handle(
+            Update(
+                "w0",
+                remaining.as_tuple(),
+                report.nodes_processed,
+                0,
+                seq=seq,
+            )
+        )
+        if report.finished:
+            raise AssertionError(
+                "exploration finished before the scripted crash — "
+                "raise crash_after_slices or shrink slice_nodes"
+            )
+        if sliced % snapshot_every == 0:
+            coordinator.maybe_checkpoint(force=True)
+    # Crash: the coordinator object is dropped on the floor.  Only the
+    # checkpoint directory survives.
+    return {
+        "true_remaining": explorer.remaining_interval(),
+        "true_cost": explorer.incumbent.cost,
+        "true_solution": explorer.incumbent.solution,
+        "nodes_pre_crash": nodes_pre_crash,
+        "slices_past_snapshot": crash_after_slices % snapshot_every,
+    }
+
+
+def _finish_nodes(
+    instance: Any, remaining: Interval, cost: float, solution: Any
+) -> Dict[str, Any]:
+    """Finish a recovered state with the sequential engine."""
+    problem = FlowShopProblem(instance)
+    result = solve(
+        problem,
+        interval=remaining,
+        initial_upper_bound=cost,
+        initial_solution=solution,
+    )
+    return {
+        "nodes": result.stats.nodes_explored,
+        "cost": result.cost,
+    }
+
+
+def _recover(
+    instance: Any, directory: Path, replay_journal: bool
+) -> Dict[str, Any]:
+    problem = FlowShopProblem(instance)
+    root = Interval(0, problem.total_leaves())
+    store = CheckpointStore(directory)
+    started = time.perf_counter()
+    state = store.load_state(root, 0, replay_journal=replay_journal)
+    elapsed = time.perf_counter() - started
+    intervals = state.intervals
+    assert intervals is not None
+    pairs = intervals.to_payload()
+    incumbent = state.incumbent or Incumbent()
+    return {
+        "journal": replay_journal,
+        "load_seconds": round(elapsed, 6),
+        "replayed_records": state.replayed_records,
+        "replayed_leaves": state.replayed_leaves,
+        "remaining_pairs": [[str(b), str(e)] for b, e in pairs],
+        "remaining_leaves": sum(e - b for b, e in pairs),
+        "cost": incumbent.cost,
+        "solution": incumbent.solution,
+    }
+
+
+def _recovery_case(
+    instance: Any,
+    serial_cost: float,
+    slice_nodes: int,
+    crash_after_slices: int,
+    snapshot_every: int,
+) -> Dict[str, Any]:
+    with tempfile.TemporaryDirectory(prefix="bench-recovery-") as tmp:
+        directory = Path(tmp) / "ckpt"
+        crash = _crashed_run(
+            instance,
+            directory,
+            slice_nodes,
+            crash_after_slices,
+            snapshot_every,
+        )
+
+        # What finishing would have cost with nothing lost at all.
+        baseline = _finish_nodes(
+            instance,
+            crash["true_remaining"],
+            crash["true_cost"],
+            crash["true_solution"],
+        )
+
+        modes = {}
+        for replay in (True, False):
+            recovered = _recover(instance, directory, replay)
+            pairs = [
+                Interval(int(b), int(e))
+                for b, e in recovered["remaining_pairs"]
+            ]
+            finish_nodes = 0
+            finish_cost = float("inf")
+            for interval in pairs:
+                finished = _finish_nodes(
+                    instance,
+                    interval,
+                    recovered["cost"],
+                    recovered["solution"],
+                )
+                finish_nodes += finished["nodes"]
+                finish_cost = min(finish_cost, finished["cost"])
+            if finish_cost != serial_cost:
+                raise AssertionError(
+                    f"recovery (journal={replay}) finished at "
+                    f"{finish_cost}, serial proved {serial_cost}"
+                )
+            recovered.pop("solution")
+            recovered.update(
+                nodes_to_finish=finish_nodes,
+                nodes_re_explored=finish_nodes - baseline["nodes"],
+                serial_identical_optimum=True,
+            )
+            modes["journal" if replay else "snapshot_only"] = recovered
+
+    journal = modes["journal"]
+    snapshot_only = modes["snapshot_only"]
+    if crash["slices_past_snapshot"] > 0:
+        # The crash landed between snapshots, so the journal must
+        # recover strictly more progress than the snapshot alone.
+        if not (
+            journal["nodes_re_explored"]
+            < snapshot_only["nodes_re_explored"]
+        ):
+            raise AssertionError(
+                "journal recovery did not beat snapshot-only: "
+                f"{journal['nodes_re_explored']} vs "
+                f"{snapshot_only['nodes_re_explored']} nodes re-explored"
+            )
+    return {
+        "snapshot_every_slices": snapshot_every,
+        "crash_after_slices": crash_after_slices,
+        "slice_nodes": slice_nodes,
+        "nodes_pre_crash": crash["nodes_pre_crash"],
+        "baseline_nodes_to_finish": baseline["nodes"],
+        "journal": journal,
+        "snapshot_only": snapshot_only,
+        "journal_saves_nodes": (
+            snapshot_only["nodes_re_explored"]
+            - journal["nodes_re_explored"]
+        ),
+    }
+
+
+def _latency_sweep(record_counts: List[int]) -> List[Dict[str, Any]]:
+    """Price ``load_state`` against journals of growing length."""
+    rows = []
+    for count in record_counts:
+        with tempfile.TemporaryDirectory(prefix="bench-journal-") as tmp:
+            directory = Path(tmp) / "ckpt"
+            store = CheckpointStore(directory)
+            span = 1 << 70  # endpoints far beyond double precision
+            for i in range(count):
+                store.journal.append(
+                    JournalRecord(
+                        0, "explored", (i * span, i * span + span // 2)
+                    )
+                )
+            store.journal.close()
+            root = Interval(0, (count + 1) * span)
+            started = time.perf_counter()
+            state = store.load_state(root, 0)
+            elapsed = time.perf_counter() - started
+            assert state.replayed_records == count
+            rows.append(
+                {
+                    "records": count,
+                    "load_seconds": round(elapsed, 6),
+                    "records_per_sec": (
+                        round(count / elapsed) if count and elapsed else None
+                    ),
+                }
+            )
+    return rows
+
+
+def run_benchmark(quick: bool = False) -> Dict[str, Any]:
+    workload = _workload(quick)
+    instance = workload["instance"]
+    serial = solve(FlowShopProblem(instance))
+
+    cases = [
+        _recovery_case(
+            instance,
+            serial.cost,
+            workload["slice_nodes"],
+            workload["crash_after_slices"],
+            snapshot_every,
+        )
+        for snapshot_every in workload["snapshot_every"]
+    ]
+    latency = _latency_sweep([0, 64, 1024] if quick else [0, 256, 4096])
+
+    return {
+        "pr": 6,
+        "benchmark": (
+            "crash recovery: journal replay vs snapshot-only restart"
+        ),
+        "command": "make bench-recovery",
+        "quick": quick,
+        "workload": {
+            "name": workload["name"],
+            "jobs": instance.jobs,
+            "machines": instance.machines,
+            "serial_cost": int(serial.cost),
+            "serial_nodes": serial.stats.nodes_explored,
+        },
+        "recovery_cases": cases,
+        "journal_strictly_fewer_nodes": all(
+            c["journal"]["nodes_re_explored"]
+            < c["snapshot_only"]["nodes_re_explored"]
+            for c in cases
+        ),
+        "replay_latency": latency,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="tiny instance (the tier-1 smoke configuration)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help=f"result file (default {DEFAULT_OUTPUT}; quick mode: stdout only)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(quick=args.quick)
+
+    for case in report["recovery_cases"]:
+        j, s = case["journal"], case["snapshot_only"]
+        print(
+            f"snapshot every {case['snapshot_every_slices']:>2} slices: "
+            f"journal re-explores {j['nodes_re_explored']:>7} nodes "
+            f"(replayed {j['replayed_records']} records), "
+            f"snapshot-only {s['nodes_re_explored']:>7} — "
+            f"journal saves {case['journal_saves_nodes']} nodes"
+        )
+    for row in report["replay_latency"]:
+        rate = row["records_per_sec"]
+        print(
+            f"replay {row['records']:>5} records: "
+            f"{row['load_seconds']*1000:8.2f} ms"
+            + (f"  ({rate} rec/s)" if rate else "")
+        )
+    print(
+        "journal strictly fewer nodes than snapshot-only: "
+        f"{report['journal_strictly_fewer_nodes']}"
+    )
+
+    output = args.output
+    if output is None and not args.quick:
+        output = DEFAULT_OUTPUT
+    if output is not None:
+        output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

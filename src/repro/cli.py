@@ -116,6 +116,21 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--lease-seconds", type=float, default=30.0,
                          help="presume a silent worker dead after this long")
     serve_p.add_argument("--checkpoint-dir", default=None)
+    serve_p.add_argument("--checkpoint-period", type=float, default=2.0,
+                         help="seconds between full INTERVALS+SOLUTION "
+                              "snapshots")
+    serve_p.add_argument("--resume", action="store_true",
+                         help="restore INTERVALS+SOLUTION (and replay the "
+                              "journal) from --checkpoint-dir before serving")
+    serve_p.add_argument("--no-journal", action="store_true",
+                         help="disable the reconciliation journal between "
+                              "snapshots (recovery falls back to the last "
+                              "full snapshot)")
+    serve_p.add_argument("--linger-seconds", type=float, default=10.0,
+                         help="grace for worker goodbyes once the search "
+                              "space is empty")
+    serve_p.add_argument("--result-json", default=None, metavar="PATH",
+                         help="write the final ServeResult as JSON to PATH")
 
     worker_p = grid_sub.add_parser(
         "worker", help="connect to a coordinator server and work"
@@ -131,6 +146,40 @@ def build_parser() -> argparse.ArgumentParser:
                                "(0 disables adaptive slicing)")
     worker_p.add_argument("--reply-timeout", type=float, default=10.0)
     worker_p.add_argument("--max-retries", type=int, default=6)
+    worker_p.add_argument("--peer-timeout", type=float, default=None,
+                          help="drop and redial a connection silent for "
+                               "this many seconds (half-open link reaper)")
+    worker_p.add_argument("--max-reconnect-attempts", type=int, default=None,
+                          help="give up after this many consecutive failed "
+                               "reconnects (default: keep trying)")
+    worker_p.add_argument("--backoff-cap", type=float, default=2.0,
+                          help="cap (seconds) on the decorrelated-jitter "
+                               "reconnect backoff")
+
+    fleet_p = grid_sub.add_parser(
+        "fleet",
+        help="supervise N worker subprocesses against one server",
+    )
+    fleet_p.add_argument("--connect", required=True, metavar="HOST:PORT",
+                         help="coordinator server address")
+    fleet_p.add_argument("--workers", type=int, default=2)
+    fleet_p.add_argument("--id-prefix", default="fleet",
+                         help="worker ids are PREFIX-SLOT.INCARNATION")
+    fleet_p.add_argument("--update-nodes", type=int, default=2000)
+    fleet_p.add_argument("--update-period", type=float, default=0.25)
+    fleet_p.add_argument("--reply-timeout", type=float, default=10.0)
+    fleet_p.add_argument("--max-retries", type=int, default=6)
+    fleet_p.add_argument("--peer-timeout", type=float, default=None)
+    fleet_p.add_argument("--max-reconnect-attempts", type=int, default=None)
+    fleet_p.add_argument("--backoff-cap", type=float, default=2.0)
+    fleet_p.add_argument("--respawn-base", type=float, default=0.2,
+                         help="base respawn backoff (seconds)")
+    fleet_p.add_argument("--respawn-cap", type=float, default=5.0,
+                         help="cap on the respawn backoff (seconds)")
+    fleet_p.add_argument("--max-respawns", type=int, default=None,
+                         help="per-slot respawn budget (default: unlimited)")
+    fleet_p.add_argument("--deadline", type=float, default=None,
+                         help="stop supervising after this many seconds")
 
     sub.add_parser("tables", help="print the static tables (1 and 3)")
 
@@ -321,6 +370,8 @@ def _cmd_report(args) -> int:
 def _cmd_grid(args) -> int:
     if args.grid_command == "serve":
         return _cmd_grid_serve(args)
+    if args.grid_command == "fleet":
+        return _cmd_grid_fleet(args)
     return _cmd_grid_worker(args)
 
 
@@ -355,10 +406,21 @@ def _cmd_grid_serve(args) -> int:
             checkpoint_dir=(
                 Path(args.checkpoint_dir) if args.checkpoint_dir else None
             ),
+            checkpoint_period=args.checkpoint_period,
             root_interval=tuple(args.interval) if args.interval else None,
+            linger_seconds=args.linger_seconds,
+            resume=args.resume,
+            journal=not args.no_journal,
         ),
     )
     host, port = server.address
+    if args.resume:
+        print(
+            f"resumed from {args.checkpoint_dir} "
+            f"(epoch {server.epoch}, "
+            f"journal records replayed: "
+            f"{server.coordinator.journal_replayed})"
+        )
     print(f"serving on {host}:{port} — connect workers with:")
     print(f"  repro grid worker --connect {host}:{port}")
     result = server.serve_forever()
@@ -372,7 +434,32 @@ def _cmd_grid_serve(args) -> int:
         f"nodes={result.nodes_explored} "
         f"redundant={result.redundant_rate:.2%}"
     )
+    if args.result_json:
+        _write_serve_result(args.result_json, result)
     return 0 if result.optimal else 1
+
+
+def _write_serve_result(path_text: str, result) -> None:
+    import json
+    from pathlib import Path
+
+    payload = {
+        "cost": result.cost,
+        "solution": (
+            list(result.solution) if result.solution is not None else None
+        ),
+        "optimal": result.optimal,
+        "aborted": result.aborted,
+        "epoch": result.epoch,
+        "journal_replayed": result.journal_replayed,
+        "nodes_explored": result.nodes_explored,
+        "work_allocations": result.work_allocations,
+        "checkpoint_operations": result.checkpoint_operations,
+        "redundant_rate": result.redundant_rate,
+        "wall_seconds": result.wall_seconds,
+        "worker_stats": result.worker_stats,
+    }
+    Path(path_text).write_text(json.dumps(payload, indent=2) + "\n")
 
 
 def _cmd_grid_worker(args) -> int:
@@ -388,7 +475,7 @@ def _cmd_grid_worker(args) -> int:
         return 2
     worker_id = args.id or f"{socket_mod.gethostname()}-{os.getpid()}"
     print(f"worker {worker_id} connecting to {host}:{port_text}")
-    run_worker(
+    outcome = run_worker(
         host,
         int(port_text),
         worker_id,
@@ -397,9 +484,65 @@ def _cmd_grid_worker(args) -> int:
         update_period=args.update_period or None,
         reply_timeout=args.reply_timeout,
         max_retries=args.max_retries,
+        peer_timeout=args.peer_timeout,
+        max_reconnect_attempts=args.max_reconnect_attempts,
+        backoff_cap=args.backoff_cap,
     )
-    print(f"worker {worker_id} done")
-    return 0
+    print(f"worker {worker_id} done: {outcome}")
+    # The exit code is the supervision contract (see grid/runtime/
+    # supervisor.py): 0 only when the coordinator said Terminate.
+    return 0 if outcome == "terminate" else 3
+
+
+def _cmd_grid_fleet(args) -> int:
+    from repro.grid.runtime.supervisor import RespawnPolicy, WorkerSupervisor
+
+    host, _, port_text = args.connect.rpartition(":")
+    if not host or not port_text.isdigit():
+        print(f"--connect must be HOST:PORT, got {args.connect!r}",
+              file=sys.stderr)
+        return 2
+
+    def command_for(slot: int, incarnation: int) -> List[str]:
+        argv = [
+            sys.executable, "-m", "repro.cli", "grid", "worker",
+            "--connect", args.connect,
+            "--id", f"{args.id_prefix}-{slot}.{incarnation}",
+            "--update-nodes", str(args.update_nodes),
+            "--update-period", str(args.update_period),
+            "--reply-timeout", str(args.reply_timeout),
+            "--max-retries", str(args.max_retries),
+            "--backoff-cap", str(args.backoff_cap),
+        ]
+        if args.peer_timeout is not None:
+            argv += ["--peer-timeout", str(args.peer_timeout)]
+        if args.max_reconnect_attempts is not None:
+            argv += ["--max-reconnect-attempts",
+                     str(args.max_reconnect_attempts)]
+        return argv
+
+    supervisor = WorkerSupervisor(
+        command_for,
+        workers=args.workers,
+        policy=RespawnPolicy(
+            backoff_base=args.respawn_base,
+            backoff_cap=args.respawn_cap,
+            max_respawns=args.max_respawns,
+        ),
+    )
+    print(f"fleet of {args.workers} workers -> {args.connect}")
+    report = supervisor.run(deadline=args.deadline)
+    for status in report.slots:
+        print(
+            f"slot {status.slot}: {status.outcome} "
+            f"after {status.incarnations} incarnation(s) "
+            f"(exit codes {status.exit_codes})"
+        )
+    print(
+        f"fleet done in {report.wall_seconds:.1f}s "
+        f"respawns={report.respawns} timed_out={report.timed_out}"
+    )
+    return 0 if report.all_clean else 1
 
 
 def _cmd_tables(_args) -> int:

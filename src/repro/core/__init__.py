@@ -15,7 +15,12 @@ Public surface re-exported here::
 """
 
 from repro.core.active_list import ActiveList, ActiveNode
-from repro.core.checkpoint import CheckpointStore
+from repro.core.checkpoint import (
+    CheckpointJournal,
+    CheckpointStore,
+    JournalRecord,
+    RecoveredState,
+)
 from repro.core.engine import (
     IntervalExplorer,
     SolveResult,
@@ -41,7 +46,10 @@ __all__ = [
     "ActiveList",
     "ActiveNode",
     "Assignment",
+    "CheckpointJournal",
     "CheckpointStore",
+    "JournalRecord",
+    "RecoveredState",
     "ExplorationStats",
     "Incumbent",
     "Interval",

@@ -9,6 +9,15 @@ corrupts the previous checkpoint.
 Node numbers can exceed 2**53 (``50!`` for Ta056), so intervals are
 serialised as decimal strings — Python's ``json`` would emit big ints
 fine, but many readers would round-trip them through doubles.
+
+Between full snapshots the store keeps an append-only *journal* of
+reconciliation events (explored ranges, incumbent pushes).  Each record
+is one line, ``<crc32-hex> <canonical-json>``, stamped with the
+generation of the snapshot it follows.  Replay truncates a torn tail
+(a crash mid-append) at the last valid record and ignores records
+stamped for a different generation (a crash between the snapshot write
+and the journal rotation).  The journal shrinks the recovery window
+from ``checkpoint_period`` to the last reconciled update.
 """
 
 from __future__ import annotations
@@ -16,21 +25,37 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, List, Optional, Tuple
+from typing import Any, Dict, IO, List, Optional, Tuple
 
 from repro.core.interval import Interval
 from repro.core.interval_set import IntervalSet
 from repro.core.stats import Incumbent
 from repro.exceptions import CheckpointError
 
-__all__ = ["CheckpointStore"]
+__all__ = [
+    "CheckpointJournal",
+    "CheckpointStore",
+    "JournalRecord",
+    "RecoveredState",
+]
 
 _FORMAT_VERSION = 1
 
 
+def _payload_crc(payload: Any) -> str:
+    """CRC32 (hex) over the canonical JSON form, minus any crc field."""
+    if isinstance(payload, dict):
+        payload = {k: v for k, v in payload.items() if k != "crc"}
+    body = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return format(zlib.crc32(body.encode("utf-8")), "08x")
+
+
 def _atomic_write_json(path: Path, payload: Any) -> None:
+    if isinstance(payload, dict):
+        payload = dict(payload, crc=_payload_crc(payload))
     path.parent.mkdir(parents=True, exist_ok=True)
     fd, tmp = tempfile.mkstemp(dir=str(path.parent), prefix=path.name + ".")
     try:
@@ -50,11 +75,153 @@ def _atomic_write_json(path: Path, payload: Any) -> None:
 def _read_json(path: Path) -> Any:
     try:
         with open(path) as fh:
-            return json.load(fh)
+            payload = json.load(fh)
     except FileNotFoundError:
         raise
     except (OSError, json.JSONDecodeError) as exc:
         raise CheckpointError(f"unreadable checkpoint {path}: {exc}") from exc
+    # Files written before the checksum field existed carry no crc and
+    # still load; a present-but-wrong crc means silent corruption.
+    if isinstance(payload, dict) and "crc" in payload:
+        if payload["crc"] != _payload_crc(payload):
+            raise CheckpointError(
+                f"checksum mismatch in {path}: the file was modified "
+                "outside the atomic-write path"
+            )
+    return payload
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One reconciliation event appended between snapshots.
+
+    ``kind`` is ``"explored"`` (a definitely-explored range subtracted
+    from INTERVALS on replay) or ``"push"`` (an incumbent improvement).
+    ``generation`` names the snapshot pair the record follows; replay
+    ignores records stamped for any other generation.
+    """
+
+    generation: int
+    kind: str
+    interval: Optional[Tuple[int, int]] = None
+    cost: Optional[float] = None
+    solution: Optional[Any] = None
+
+    def to_json(self) -> str:
+        doc: Dict[str, Any] = {"gen": self.generation, "kind": self.kind}
+        if self.interval is not None:
+            doc["interval"] = [str(self.interval[0]), str(self.interval[1])]
+        if self.cost is not None:
+            doc["cost"] = self.cost
+        if self.solution is not None:
+            doc["solution"] = _jsonable_solution(self.solution)
+        return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "JournalRecord":
+        doc = json.loads(text)
+        if not isinstance(doc, dict):
+            raise ValueError(f"journal record is not an object: {text!r}")
+        generation = doc["gen"]
+        kind = doc["kind"]
+        if not isinstance(generation, int) or kind not in ("explored", "push"):
+            raise ValueError(f"malformed journal record: {text!r}")
+        interval: Optional[Tuple[int, int]] = None
+        if "interval" in doc:
+            begin, end = doc["interval"]
+            interval = (int(begin), int(end))
+        solution = doc.get("solution")
+        if isinstance(solution, list):
+            solution = tuple(solution)
+        return cls(generation, kind, interval, doc.get("cost"), solution)
+
+
+class CheckpointJournal:
+    """Append-only, CRC-framed record log between full snapshots.
+
+    One record per line: ``<crc32-hex> <canonical-json>\\n``.  Appends
+    are flushed and fsynced individually so a SIGKILL can lose at most
+    the record being written — which replay then truncates away.
+    """
+
+    def __init__(self, path: Path):
+        self.path = Path(path)
+        self._fh: Optional[IO[bytes]] = None
+
+    def append(self, record: JournalRecord) -> None:
+        body = record.to_json().encode("utf-8")
+        line = format(zlib.crc32(body), "08x").encode("ascii") + b" " + body + b"\n"
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "ab")
+        self._fh.write(line)
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def rotate(self) -> None:
+        """Empty the journal: a fresh snapshot has subsumed its records."""
+        self.close()
+        if self.path.exists():
+            with open(self.path, "wb"):
+                pass
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def replay(self, generation: int) -> List[JournalRecord]:
+        """Parse records stamped ``generation``; truncate any torn tail.
+
+        Scans the valid prefix of the file: a line that is incomplete,
+        fails its CRC, or does not parse marks the torn tail — the file
+        is truncated there so later appends cannot interleave with
+        garbage.  Valid records stamped for another generation are
+        skipped (they predate the snapshot being recovered) but do not
+        stop the scan.
+        """
+        try:
+            raw = self.path.read_bytes()
+        except FileNotFoundError:
+            return []
+        records: List[JournalRecord] = []
+        pos = 0
+        valid = 0
+        while pos < len(raw):
+            newline = raw.find(b"\n", pos)
+            if newline == -1:
+                break  # incomplete final line: torn append
+            line = raw[pos:newline]
+            space = line.find(b" ")
+            if space != 8:
+                break
+            body = line[9:]
+            if format(zlib.crc32(body), "08x").encode("ascii") != line[:8]:
+                break
+            try:
+                record = JournalRecord.from_json(body.decode("utf-8"))
+            except (ValueError, KeyError, TypeError, UnicodeDecodeError):
+                break
+            pos = newline + 1
+            valid = pos
+            if record.generation == generation:
+                records.append(record)
+        if valid < len(raw):
+            self.close()
+            with open(self.path, "r+b") as fh:
+                fh.truncate(valid)
+        return records
+
+
+@dataclass
+class RecoveredState:
+    """What :meth:`CheckpointStore.load_state` reconstructed."""
+
+    intervals: Optional[IntervalSet]
+    incumbent: Optional[Incumbent]
+    generation: int
+    replayed_records: int = 0
+    replayed_leaves: int = 0
 
 
 @dataclass
@@ -76,6 +243,7 @@ class CheckpointStore:
     def __post_init__(self) -> None:
         self.directory = Path(self.directory)
         self._generation: Optional[int] = None
+        self.journal = CheckpointJournal(self.journal_path)
 
     @property
     def intervals_path(self) -> Path:
@@ -84,6 +252,14 @@ class CheckpointStore:
     @property
     def solution_path(self) -> Path:
         return self.directory / "solution.json"
+
+    @property
+    def journal_path(self) -> Path:
+        return self.directory / "journal.log"
+
+    @property
+    def epoch_path(self) -> Path:
+        return self.directory / "epoch.json"
 
     # ------------------------------------------------------------------
     # INTERVALS
@@ -156,6 +332,89 @@ class CheckpointStore:
         generation = self._next_generation()
         self.save_intervals(intervals, generation=generation)
         self.save_solution(incumbent, generation=generation)
+        # The snapshot subsumes every journaled event; a crash landing
+        # before this rotation leaves records stamped with the previous
+        # generation, which replay filters out.
+        self.journal.rotate()
+
+    # ------------------------------------------------------------------
+    # journal (reconciliation events between snapshots)
+    # ------------------------------------------------------------------
+    def journal_explored(self, explored: Interval) -> None:
+        """Record a definitely-explored range (an owned-path update)."""
+        self.journal.append(
+            JournalRecord(
+                self._committed_generation(), "explored", explored.as_tuple()
+            )
+        )
+
+    def journal_push(self, cost: float, solution: Any) -> None:
+        """Record an incumbent improvement (a Push the coordinator kept)."""
+        self.journal.append(
+            JournalRecord(
+                self._committed_generation(), "push", cost=cost,
+                solution=solution,
+            )
+        )
+
+    def load_state(
+        self,
+        root_interval: Optional[Interval] = None,
+        duplication_threshold: int = 0,
+        replay_journal: bool = True,
+    ) -> RecoveredState:
+        """Restore the snapshot pair, then replay the journal over it.
+
+        When no snapshot exists yet and ``root_interval`` is given, the
+        journal replays over a fresh root set — a crash before the
+        first snapshot still recovers every reconciled update.
+        Explored records subtract their range from INTERVALS (position
+        subtraction is order-insensitive and idempotent, so replay
+        after a torn tail is always safe); push records re-apply
+        through the monotonic incumbent update.
+        """
+        intervals, incumbent = self.load(duplication_threshold)
+        generation = self._read_generation(self.intervals_path) or 0
+        base = intervals
+        if base is None and root_interval is not None:
+            base = IntervalSet.initial(root_interval, duplication_threshold)
+        records = self.journal.replay(generation) if replay_journal else []
+        leaves = 0
+        for record in records:
+            if record.kind == "explored" and base is not None:
+                assert record.interval is not None
+                leaves += base.subtract(Interval.from_tuple(record.interval))
+            elif record.kind == "push" and record.cost is not None:
+                if incumbent is None:
+                    incumbent = Incumbent()
+                incumbent.update(record.cost, record.solution)
+        return RecoveredState(
+            base, incumbent, generation,
+            replayed_records=len(records), replayed_leaves=leaves,
+        )
+
+    # ------------------------------------------------------------------
+    # server epoch (restart counter for the Welcome handshake)
+    # ------------------------------------------------------------------
+    def read_epoch(self) -> int:
+        try:
+            payload = _read_json(self.epoch_path)
+        except (FileNotFoundError, CheckpointError):
+            # Crash-only: a damaged epoch file must not block a restart.
+            # Epoch detection compares for *change*, not order, so
+            # restarting the count still flags stale workers.
+            return 0
+        if isinstance(payload, dict) and isinstance(payload.get("epoch"), int):
+            return payload["epoch"]
+        return 0
+
+    def bump_epoch(self) -> int:
+        """Advance and persist the server epoch; returns the new value."""
+        epoch = self.read_epoch() + 1
+        _atomic_write_json(
+            self.epoch_path, {"version": _FORMAT_VERSION, "epoch": epoch}
+        )
+        return epoch
 
     def load(
         self, duplication_threshold: int = 0
@@ -189,6 +448,17 @@ class CheckpointStore:
             )
         return intervals, incumbent
 
+    def _committed_generation(self) -> int:
+        """Generation of the snapshot the journal currently follows."""
+        if self._generation is not None:
+            return self._generation
+        on_disk = [
+            self._read_generation(p)
+            for p in (self.intervals_path, self.solution_path)
+        ]
+        self._generation = max((g for g in on_disk if g is not None), default=0)
+        return self._generation
+
     def _next_generation(self) -> int:
         if self._generation is None:
             on_disk = [
@@ -214,7 +484,13 @@ class CheckpointStore:
         return None
 
     def clear(self) -> None:
-        for path in (self.intervals_path, self.solution_path):
+        self.journal.close()
+        for path in (
+            self.intervals_path,
+            self.solution_path,
+            self.journal_path,
+            self.epoch_path,
+        ):
             try:
                 path.unlink()
             except FileNotFoundError:

@@ -287,6 +287,35 @@ class IntervalSet:
         self.splits += 1
         return Assignment(right, duplicated=False)
 
+    def subtract(self, explored: Interval) -> int:
+        """Remove ``explored`` from every copy that overlaps it.
+
+        Journal replay (§4.1 extension): a definitely-explored range is
+        carved out of the restored snapshot.  Position subtraction is
+        order-insensitive and idempotent, and under the covering
+        invariant it can only remove work that was in fact explored —
+        duplicated copies each lose their overlap independently.
+        Returns the total length removed (duplicates counted per copy).
+        """
+        removed = 0
+        for rid, rec in list(self._records.items()):
+            overlap = rec.interval.intersect(explored)
+            if overlap.is_empty():
+                continue
+            removed += overlap.length
+            left = Interval(rec.interval.begin, overlap.begin)
+            right = Interval(overlap.end, rec.interval.end)
+            if left.is_empty() and right.is_empty():
+                del self._records[rid]
+            elif right.is_empty():
+                rec.interval = left
+            elif left.is_empty():
+                rec.interval = right
+            else:
+                rec.interval = left
+                self.add(right, owners=tuple(rec.owners))
+        return removed
+
     def release(self, worker: WorkerId) -> int:
         """Detach ``worker`` from every record (death or completion).
 

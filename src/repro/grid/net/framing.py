@@ -71,8 +71,9 @@ __all__ = [
     "FrameBuffer",
 ]
 
-#: Highest wire version this build understands.
-WIRE_VERSION = 1
+#: Highest wire version this build understands.  v2 added the server
+#: ``epoch`` to the Hello/Welcome handshake (crash-only recovery).
+WIRE_VERSION = 2
 
 #: Upper bound on a single frame; anything larger is a protocol error
 #: (or garbage on the port), not a message worth buffering.
@@ -96,10 +97,16 @@ class MessageDecodeError(FrameError):
 
 @dataclass
 class Hello:
-    """First frame of every (re)connection: who is calling."""
+    """First frame of every (re)connection: who is calling.
+
+    ``epoch`` is the last server epoch the client saw (0 on a first
+    connection): the server can tell a reconnecting survivor of a
+    previous incarnation from a fresh worker.
+    """
 
     worker: str
     power: float = 1.0
+    epoch: int = 0
     version: int = WIRE_VERSION
 
 
@@ -110,11 +117,16 @@ class Welcome:
     ``spec`` is the run's problem in wire form
     (:func:`repro.grid.runtime.protocol.spec_to_wire`) when the server
     distributes work definitions, ``None`` when workers are configured
-    out of band.
+    out of band.  ``epoch`` counts server incarnations over one
+    checkpoint directory (0 when the server keeps no checkpoints): a
+    client that sees it change knows the coordinator restarted from a
+    snapshot and must re-reconcile its interval copy (eq. 14) instead
+    of trusting the recovered state.
     """
 
     spec: Optional[Dict[str, Any]] = None
     best_cost: float = float("inf")
+    epoch: int = 0
     version: int = WIRE_VERSION
 
 

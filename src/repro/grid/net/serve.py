@@ -68,6 +68,8 @@ class ServeConfig:
     peer_timeout: Optional[float] = 30.0  # half-open connection reaper
     root_interval: Optional[Tuple[int, int]] = None
     linger_seconds: float = 10.0  # grace for Byes after the space empties
+    resume: bool = False  # restore INTERVALS+SOLUTION from checkpoint_dir
+    journal: bool = True  # append reconciliations between snapshots
 
 
 @dataclass
@@ -85,6 +87,9 @@ class ServeResult:
     worker_stats: Dict[str, Dict[str, float]]
     leases_expired: List[str] = field(default_factory=list)
     duplicates_ignored: int = 0
+    epoch: int = 0
+    journal_replayed: int = 0
+    aborted: bool = False
 
 
 class GridServer:
@@ -109,23 +114,51 @@ class GridServer:
             if self.config.checkpoint_dir is not None
             else None
         )
-        self.coordinator = Coordinator(
-            root,
-            duplication_threshold=self.config.duplication_threshold,
-            store=store,
-            checkpoint_period=self.config.checkpoint_period,
-            initial_best=Incumbent(
+        if self.config.resume and store is None:
+            raise RuntimeProtocolError(
+                "--resume requires a checkpoint directory"
+            )
+        # Every incarnation over one checkpoint directory gets a fresh
+        # epoch: the Welcome carries it, so workers that survive us can
+        # tell our successor they hold pre-crash state.
+        self.epoch = store.bump_epoch() if store is not None else 0
+        if self.config.resume:
+            assert store is not None
+            self.coordinator = Coordinator.recover(
+                store,
+                root,
+                duplication_threshold=self.config.duplication_threshold,
+                checkpoint_period=self.config.checkpoint_period,
+                lease_seconds=self.config.lease_seconds,
+                journal=self.config.journal,
+            )
+            # A warm start passed on the command line may still beat
+            # what the snapshot knew; the incumbent is monotonic.
+            self.coordinator.solution.update(
                 self.config.initial_upper_bound, self.config.initial_solution
-            ),
-            lease_seconds=self.config.lease_seconds,
-        )
+            )
+        else:
+            self.coordinator = Coordinator(
+                root,
+                duplication_threshold=self.config.duplication_threshold,
+                store=store,
+                checkpoint_period=self.config.checkpoint_period,
+                initial_best=Incumbent(
+                    self.config.initial_upper_bound,
+                    self.config.initial_solution,
+                ),
+                lease_seconds=self.config.lease_seconds,
+                journal=self.config.journal,
+            )
         self.listener = TcpListener(
             self.config.host,
             self.config.port,
             spec_wire=spec_to_wire(spec),
             peer_timeout=self.config.peer_timeout,
+            epoch=self.epoch,
         )
         self._shutdown = False
+        self._abort = False
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -134,6 +167,17 @@ class GridServer:
 
     def shutdown(self) -> None:
         """Ask ``serve_forever`` to return after its current iteration."""
+        self._shutdown = True
+
+    def abort(self) -> None:
+        """Stop *without* the final forced checkpoint.
+
+        The in-process stand-in for ``kill -9``: whatever the periodic
+        checkpoint and journal last persisted is all a successor gets.
+        Tests use it to exercise the recovery path deterministically
+        without spawning a subprocess.
+        """
+        self._abort = True
         self._shutdown = True
 
     def serve_forever(self) -> ServeResult:
@@ -181,12 +225,13 @@ class GridServer:
                     listener.send(message.worker, reply)
                 coordinator.check_leases()
         finally:
-            coordinator.maybe_checkpoint(force=True)
+            if not self._abort:
+                coordinator.maybe_checkpoint(force=True)
             listener.close()
         return ServeResult(
             cost=coordinator.solution.cost,
             solution=coordinator.solution.solution,
-            optimal=coordinator.intervals.is_empty(),
+            optimal=coordinator.intervals.is_empty() and not self._abort,
             wall_seconds=time.monotonic() - started,
             nodes_explored=coordinator.nodes_explored,
             work_allocations=coordinator.work_allocations,
@@ -195,6 +240,9 @@ class GridServer:
             worker_stats=dict(coordinator.byes),
             leases_expired=list(coordinator.leases_expired),
             duplicates_ignored=coordinator.duplicates_ignored,
+            epoch=self.epoch,
+            journal_replayed=coordinator.journal_replayed,
+            aborted=self._abort,
         )
 
 
@@ -224,13 +272,22 @@ def run_worker(
     connect_timeout: float = 10.0,
     heartbeat_interval: Optional[float] = 2.0,
     spec: Optional[ProblemSpec] = None,
-) -> None:
+    peer_timeout: Optional[float] = None,
+    max_reconnect_attempts: Optional[int] = None,
+    reconnect_base: float = 0.05,
+    backoff_cap: float = 2.0,
+) -> str:
     """Connect to a :class:`GridServer` and work until terminated.
 
     The problem definition comes from the server's Welcome unless an
     explicit ``spec`` overrides it.  Runs the same loop as the forked
     workers — adaptive slicing, pipelined updates, at-least-once RPC —
     just over a socket the caller could point at another machine.
+
+    Returns the loop's outcome: ``"terminate"`` when the coordinator
+    proved the space empty, ``"gave-up"`` when the RPC layer exhausted
+    its retries against an unreachable coordinator.  Supervisors map
+    the difference to exit codes (a gave-up worker is respawned).
     """
     connection = TcpClientConnection(
         host,
@@ -239,6 +296,10 @@ def run_worker(
         power=power,
         connect_timeout=connect_timeout,
         heartbeat_interval=heartbeat_interval,
+        peer_timeout=peer_timeout,
+        max_reconnect_attempts=max_reconnect_attempts,
+        reconnect_base=reconnect_base,
+        reconnect_cap=backoff_cap,
     )
     try:
         connection.open(timeout=connect_timeout)
@@ -254,7 +315,7 @@ def run_worker(
         connection.close()
         raise
     # worker_main closes the connection it gets from the connector.
-    worker_main(
+    return worker_main(
         worker_id,
         spec,
         _PreopenedConnector(connection),

@@ -106,11 +106,13 @@ class TcpListener(Listener):
         *,
         spec_wire: Optional[Dict[str, Any]] = None,
         peer_timeout: Optional[float] = 30.0,
+        epoch: int = 0,
     ):
         self._host = host
         self._requested_port = port
         self._spec_wire = spec_wire
         self._peer_timeout = peer_timeout
+        self._epoch = epoch
         self._inbox: "queue_mod.Queue[Any]" = queue_mod.Queue()
         self._writers: Dict[str, asyncio.StreamWriter] = {}
         self._all_writers: set = set()
@@ -213,7 +215,11 @@ class TcpListener(Listener):
                         stale.close()  # a reconnect supersedes the old conn
                     try:
                         writer.write(
-                            encode_frame(Welcome(spec=self._spec_wire))
+                            encode_frame(
+                                Welcome(
+                                    spec=self._spec_wire, epoch=self._epoch
+                                )
+                            )
                         )
                         await writer.drain()
                     except (ConnectionError, OSError):
@@ -301,6 +307,8 @@ class TcpClientConnection(Connection):
         io_timeout: float = 0.25,
         rng: Optional[random.Random] = None,
         faults: Optional[SocketFaults] = None,
+        peer_timeout: Optional[float] = None,
+        max_reconnect_attempts: Optional[int] = None,
     ):
         self._host = host
         self._port = port
@@ -312,12 +320,19 @@ class TcpClientConnection(Connection):
         self._io_timeout = io_timeout
         self._rng = rng if rng is not None else random.Random(worker_id)
         self._faults = faults
+        self._peer_timeout = peer_timeout
+        self._max_reconnect_attempts = max_reconnect_attempts
         self._sock: Optional[socket.socket] = None
         self._buf = FrameBuffer()
         self._inbound: deque = deque()
         self._send_lock = threading.RLock()
         self._backoff = reconnect_base
         self._sent_frames = 0
+        self._failed_attempts = 0
+        self._exhausted = False
+        self._last_rx = time.monotonic()
+        self._last_epoch = 0
+        self._epoch_changed = False
         self._closed = threading.Event()
         self.welcome: Optional[Welcome] = None
         #: total (re)connections that completed the Hello/Welcome handshake
@@ -344,7 +359,11 @@ class TcpClientConnection(Connection):
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             sock.settimeout(self._io_timeout)
             buf = FrameBuffer()
-            sock.sendall(encode_frame(Hello(self._worker, self._power)))
+            sock.sendall(
+                encode_frame(
+                    Hello(self._worker, self._power, epoch=self._last_epoch)
+                )
+            )
             deadline = time.monotonic() + self._connect_timeout
             welcome: Optional[Welcome] = None
             while welcome is None:
@@ -370,17 +389,42 @@ class TcpClientConnection(Connection):
             return False
         self._sock = sock
         self._buf = buf
-        self.welcome = welcome
+        self._note_welcome(welcome)
         self.connects += 1
         self._backoff = self._reconnect_base
+        self._failed_attempts = 0
+        self._last_rx = time.monotonic()
         return True
+
+    def _note_welcome(self, welcome: Welcome) -> None:
+        self.welcome = welcome
+        if (
+            welcome.epoch != 0
+            and self._last_epoch != 0
+            and welcome.epoch != self._last_epoch
+        ):
+            # The coordinator we reconnected to is a new incarnation
+            # recovered from a checkpoint: flag it so the worker can
+            # re-reconcile its interval copy instead of trusting the
+            # (possibly stale) snapshot state.
+            self._epoch_changed = True
+        self._last_epoch = welcome.epoch
 
     def _ensure_connected_locked(self, deadline: Optional[float]) -> bool:
         while not self._closed.is_set():
             if self._sock is not None:
                 return True
+            if self._exhausted:
+                return False
             if self._connect_once():
                 return True
+            self._failed_attempts += 1
+            if (
+                self._max_reconnect_attempts is not None
+                and self._failed_attempts >= self._max_reconnect_attempts
+            ):
+                self._exhausted = True
+                return False
             delay = decorrelated_jitter(
                 self._rng, self._reconnect_base, self._backoff,
                 self._reconnect_cap,
@@ -484,12 +528,26 @@ class TcpClientConnection(Connection):
                 ok = self._ensure_connected_locked(deadline)
                 sock, buf = self._sock, self._buf
             if not ok or sock is None:
+                if self._exhausted:
+                    raise TransportError(
+                        f"coordinator at {self._host}:{self._port} "
+                        f"unreachable after "
+                        f"{self._max_reconnect_attempts} reconnect attempts"
+                    )
                 if deadline is None:
                     continue
                 raise TransportTimeout(f"no reply within {timeout}s")
             try:
                 data = sock.recv(_RECV_CHUNK)
             except socket.timeout:
+                if (
+                    self._peer_timeout is not None
+                    and time.monotonic() - self._last_rx > self._peer_timeout
+                ):
+                    # Half-open link: the socket looks connected but the
+                    # peer has been silent past the budget — reconnect.
+                    with self._send_lock:
+                        self._drop_locked(expected=sock)
                 continue
             except OSError:
                 with self._send_lock:
@@ -499,6 +557,7 @@ class TcpClientConnection(Connection):
                 with self._send_lock:
                     self._drop_locked(expected=sock)
                 continue
+            self._last_rx = time.monotonic()
             try:
                 payloads = buf.feed(data)
             except FrameError:
@@ -513,9 +572,15 @@ class TcpClientConnection(Connection):
                 if isinstance(message, Heartbeat):
                     continue
                 if isinstance(message, Welcome):
-                    self.welcome = message
+                    self._note_welcome(message)
                     continue
                 self._inbound.append(message)
+
+    def take_epoch_change(self) -> bool:
+        with self._send_lock:
+            changed = self._epoch_changed
+            self._epoch_changed = False
+            return changed
 
     def close(self) -> None:
         if self._closed.is_set():
@@ -539,6 +604,8 @@ class TcpConnector(Connector):
     reconnect_cap: float = 2.0
     heartbeat_interval: Optional[float] = 2.0
     faults: Optional[SocketFaults] = None
+    peer_timeout: Optional[float] = None
+    max_reconnect_attempts: Optional[int] = None
 
     def connect(self, worker_id: str) -> TcpClientConnection:
         return TcpClientConnection(
@@ -551,6 +618,8 @@ class TcpConnector(Connector):
             reconnect_cap=self.reconnect_cap,
             heartbeat_interval=self.heartbeat_interval,
             faults=self.faults,
+            peer_timeout=self.peer_timeout,
+            max_reconnect_attempts=self.max_reconnect_attempts,
         )
 
 

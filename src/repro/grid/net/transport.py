@@ -79,6 +79,21 @@ class Connection(abc.ABC):
     def close(self) -> None:
         """Release the channel; idempotent."""
 
+    def take_epoch_change(self) -> bool:
+        """Consume the "coordinator restarted" flag, if the transport
+        tracks one.
+
+        Network transports that handshake on every reconnection learn
+        the server's epoch (its incarnation counter over one checkpoint
+        directory).  This returns True exactly once after the observed
+        epoch changes — the worker must then re-reconcile its interval
+        copy against the recovered coordinator (eq. 14) instead of
+        trusting state restored from a snapshot.  Transports without a
+        handshake (in-process queues) never restart out from under the
+        worker and keep this False.
+        """
+        return False
+
 
 class Listener(abc.ABC):
     """The coordinator's side: one merged inbox, reply routing by worker."""

@@ -25,6 +25,8 @@ from repro.grid.runtime.faults import (
     ChannelFaults,
     CoordinatorCrash,
     FaultPlan,
+    ProcessKill,
+    ProcessKiller,
     WorkerHang,
 )
 from repro.grid.runtime.launcher import (
@@ -34,6 +36,12 @@ from repro.grid.runtime.launcher import (
 )
 from repro.grid.runtime.protocol import ProblemSpec, flowshop_spec, tsp_spec
 from repro.grid.runtime.shared import SharedBound
+from repro.grid.runtime.supervisor import (
+    FleetReport,
+    RespawnPolicy,
+    SlotStatus,
+    WorkerSupervisor,
+)
 
 __all__ = [
     "AdaptiveSlicer",
@@ -41,11 +49,17 @@ __all__ = [
     "Coordinator",
     "CoordinatorCrash",
     "FaultPlan",
+    "FleetReport",
     "ParallelResult",
     "ProblemSpec",
+    "ProcessKill",
+    "ProcessKiller",
+    "RespawnPolicy",
     "RuntimeConfig",
     "SharedBound",
+    "SlotStatus",
     "WorkerHang",
+    "WorkerSupervisor",
     "flowshop_spec",
     "solve_parallel",
     "tsp_spec",

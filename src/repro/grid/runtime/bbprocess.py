@@ -265,7 +265,7 @@ def worker_main(
     pipeline_updates: bool = True,
     shared_bound: Optional[SharedBound] = None,
     bound_poll_nodes: int = 256,
-) -> None:
+) -> str:
     """Run one B&B process until the coordinator says terminate.
 
     ``connector`` names the coordinator — a picklable
@@ -286,10 +286,15 @@ def worker_main(
     sleep ``hang_seconds`` instead — alive but silent, so its lease
     expires at the coordinator.  Both are fault-injection hooks used
     by the chaos suite and the examples.
+
+    Returns the loop outcome: ``"terminate"`` (the coordinator proved
+    the space empty), ``"gave-up"`` (the retry budget expired against
+    an unreachable coordinator) or ``"crash"`` (a fault hook fired).
+    Process supervisors respawn anything but a clean ``"terminate"``.
     """
     connection = connector.connect(worker_id)
     try:
-        _worker_loop(
+        return _worker_loop(
             worker_id,
             spec,
             connection,
@@ -329,13 +334,14 @@ def _worker_loop(
     pipeline_updates: bool,
     shared_bound: Optional[SharedBound],
     bound_poll_nodes: int,
-) -> None:
+) -> str:
     problem = spec.build()
     stats_total: Dict[str, float] = {
         "nodes": 0,
         "updates": 0,
         "allocations": 0,
         "improvements": 0,
+        "epoch_resyncs": 0,
         "explore_seconds": 0.0,
         "rpc_wait_seconds": 0.0,
     }
@@ -385,9 +391,13 @@ def _worker_loop(
         if reply is None:
             # repro-check: ignore[RC04] -- best-effort Bye after the retry budget is exhausted; the launcher's process sentinel covers the exit
             connection.send(Bye(worker_id, dict(stats_total)))
-            return
+            return "gave-up"
         if isinstance(reply, Terminate):
             break
+        # A Grant claimed from a just-restarted coordinator is already
+        # a fresh reconciliation; consume the flag so the first slice
+        # boundary is not forced synchronous for nothing.
+        connection.take_epoch_change()
         assert isinstance(reply, GrantWork)
         stats_total["allocations"] += 1
         reinform_if_stale(reply.best_cost)
@@ -457,10 +467,28 @@ def _worker_loop(
             if chan.has_pending():
                 outcome = collect_reconciled()
                 if outcome in ("dead", "crash"):
-                    return
+                    return "gave-up" if outcome == "dead" else "crash"
                 if outcome == "terminate":
                     terminate = True
                     break
+
+            # The transport reconnected to a *new server incarnation*
+            # (the epoch in its Welcome changed): whatever interval
+            # state it recovered may be stale.  Re-push our best (the
+            # snapshot may predate it) and force the next Update to
+            # reconcile synchronously so we learn of any reassignment
+            # before exploring further on stale assumptions.
+            resync = connection.take_epoch_change()
+            if resync:
+                stats_total["epoch_resyncs"] += 1
+                if best["solution"] is not None:
+                    ack = chan.call(
+                        Push(worker_id, best["cost"], best["solution"])
+                    )
+                    if ack is None:
+                        return "gave-up"
+                    if isinstance(ack, Ack):
+                        explorer.set_upper_bound(ack.best_cost, None)
 
             if improvements:
                 cost, solution = improvements[-1]
@@ -470,7 +498,7 @@ def _worker_loop(
                     best["cost"], best["solution"] = cost, solution
                 ack = chan.call(Push(worker_id, cost, solution))
                 if ack is None:
-                    return
+                    return "gave-up"
                 if isinstance(ack, Ack):
                     explorer.set_upper_bound(ack.best_cost, None)
 
@@ -482,10 +510,10 @@ def _worker_loop(
                     consumed=consumed,
                 )
             )
-            if not pipeline_updates:
+            if not pipeline_updates or resync:
                 outcome = collect_reconciled()
                 if outcome in ("dead", "crash"):
-                    return
+                    return "gave-up" if outcome == "dead" else "crash"
                 if outcome == "terminate":
                     terminate = True
                     break
@@ -495,7 +523,7 @@ def _worker_loop(
         if chan.has_pending():
             outcome = collect_reconciled()
             if outcome in ("dead", "crash"):
-                return
+                return "gave-up" if outcome == "dead" else "crash"
             if outcome == "terminate":
                 terminate = True
         if terminate:
@@ -507,3 +535,4 @@ def _worker_loop(
     # process sentinel notices the exit.  If every retry times out the
     # worker leaves anyway — the sentinel path still covers it.
     chan.call(Bye(worker_id, dict(stats_total)))
+    return "terminate"

@@ -62,12 +62,16 @@ class Coordinator:
         checkpoint_period: float = 5.0,
         initial_best: Optional[Incumbent] = None,
         lease_seconds: Optional[float] = None,
+        journal: bool = True,
     ):
         self.intervals = IntervalSet.initial(root_interval, duplication_threshold)
         self.solution = (initial_best or Incumbent()).copy()
         self.store = store
         self.checkpoint_period = checkpoint_period
         self.lease_seconds = lease_seconds
+        self.journal_enabled = journal
+        self.journal_replayed = 0
+        self.journal_leaves_replayed = 0
         self._last_checkpoint = time.monotonic()
         self._powers: Dict[str, float] = {}
         # At-least-once RPC state: per-worker highest seq seen and the
@@ -96,19 +100,27 @@ class Coordinator:
         duplication_threshold: int = 1,
         checkpoint_period: float = 5.0,
         lease_seconds: Optional[float] = None,
+        journal: bool = True,
     ) -> "Coordinator":
-        """Restart after a farmer failure: reload the two files (§4.1)."""
-        intervals, incumbent = store.load(duplication_threshold)
+        """Restart after a farmer failure: reload the two files (§4.1),
+        then replay the reconciliation journal over the snapshot so the
+        recovery window shrinks to the last reconciled update."""
+        state = store.load_state(
+            root_interval, duplication_threshold, replay_journal=journal
+        )
         coord = cls(
             root_interval,
             duplication_threshold,
             store,
             checkpoint_period,
-            initial_best=incumbent,
+            initial_best=state.incumbent,
             lease_seconds=lease_seconds,
+            journal=journal,
         )
-        if intervals is not None:
-            coord.intervals = intervals
+        if state.intervals is not None:
+            coord.intervals = state.intervals
+        coord.journal_replayed = state.replayed_records
+        coord.journal_leaves_replayed = state.replayed_leaves
         return coord
 
     # ------------------------------------------------------------------
@@ -172,7 +184,23 @@ class Coordinator:
         return GrantWork(assignment.interval.as_tuple(), self.solution.cost)
 
     def _on_update(self, msg: Update) -> Reconciled:
-        merged = self.intervals.update(msg.worker, Interval.from_tuple(msg.interval))
+        reported = Interval.from_tuple(msg.interval)
+        explored: Optional[Interval] = None
+        if self._journaling():
+            # Owned path only: everything between the copy's begin and
+            # the reported begin is definitely explored (eq. 14's left
+            # remainder).  The unowned-reclaim path cannot know what
+            # was explored, so it journals nothing — replay then keeps
+            # that work, costing redundancy, never loss.
+            rid = self.intervals.record_for_worker(msg.worker)
+            if rid is not None:
+                owned = self.intervals.records()[rid].interval
+                cut = min(max(reported.begin, owned.begin), owned.end)
+                explored = Interval(owned.begin, cut)
+        merged = self.intervals.update(msg.worker, reported)
+        if explored is not None and not explored.is_empty():
+            assert self.store is not None
+            self.store.journal_explored(explored)
         self.worker_checkpoint_ops += 1
         self.nodes_explored += msg.nodes
         self.leaves_consumed += msg.consumed
@@ -183,7 +211,13 @@ class Coordinator:
     def _on_push(self, msg: Push) -> Ack:
         if self.solution.update(msg.cost, msg.solution):
             self.improvements += 1
+            if self._journaling():
+                assert self.store is not None
+                self.store.journal_push(msg.cost, msg.solution)
         return Ack(self.solution.cost)
+
+    def _journaling(self) -> bool:
+        return self.store is not None and self.journal_enabled
 
     # ------------------------------------------------------------------
     def release_worker(self, worker: str) -> None:

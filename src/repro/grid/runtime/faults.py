@@ -42,11 +42,14 @@ can leave it pruning against a solution nobody has.
 
 from __future__ import annotations
 
+import os
 import queue as queue_mod
 import random
+import signal
+import threading
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.grid.net.transport import Listener, TransportTimeout
 
@@ -59,6 +62,8 @@ __all__ = [
     "FaultyListener",
     "LossyReceiver",
     "LossySender",
+    "ProcessKill",
+    "ProcessKiller",
 ]
 
 
@@ -363,3 +368,79 @@ class FaultyListener(Listener):
 
     def close(self) -> None:
         self._listener.close()
+
+
+@dataclass(frozen=True)
+class ProcessKill:
+    """Signal a *real* process after a wall-clock delay.
+
+    The process-level companion of :class:`CoordinatorCrash`: instead
+    of simulating a failure inside the launcher, the schedule delivers
+    an actual OS signal (SIGKILL by default — no handlers, no
+    cleanup, no final checkpoint) to a live PID.  Used by the crash
+    e2e suite against supervisor-spawned workers and the standalone
+    server subprocess.
+    """
+
+    after_seconds: float
+    sig: int = signal.SIGKILL
+
+    def __post_init__(self) -> None:
+        if self.after_seconds < 0:
+            raise ValueError("after_seconds must be >= 0")
+
+
+class ProcessKiller:
+    """Arms :class:`ProcessKill` schedules against live processes.
+
+    Targets are *resolvers* — zero-argument callables returning the
+    PID to hit (or ``None`` to skip), evaluated at fire time.  That
+    lets a schedule aim at "whatever incarnation slot 2 runs when the
+    timer fires" rather than a PID that a supervisor respawn may have
+    already replaced.  Every delivered signal is recorded in
+    ``kills`` as ``(pid, sig)``.
+    """
+
+    def __init__(self) -> None:
+        self._timers: List[threading.Timer] = []
+        self._lock = threading.Lock()
+        self.kills: List[Tuple[int, int]] = []
+
+    def arm(
+        self, resolve: Callable[[], Optional[int]], kill: ProcessKill
+    ) -> threading.Timer:
+        def fire() -> None:
+            pid = resolve()
+            if pid is None:
+                return
+            try:
+                os.kill(pid, kill.sig)
+            except (ProcessLookupError, PermissionError):
+                return  # already gone (or not ours): nothing to record
+            with self._lock:
+                self.kills.append((pid, kill.sig))
+
+        timer = threading.Timer(kill.after_seconds, fire)
+        timer.daemon = True
+        with self._lock:
+            self._timers.append(timer)
+        timer.start()
+        return timer
+
+    def arm_pid(self, pid: int, kill: ProcessKill) -> threading.Timer:
+        """Convenience: a schedule against one already-known PID."""
+        return self.arm(lambda: pid, kill)
+
+    def cancel(self) -> None:
+        """Cancel every pending timer (fired ones are unaffected)."""
+        with self._lock:
+            timers = list(self._timers)
+        for timer in timers:
+            timer.cancel()
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        """Wait for armed timers to finish firing (test teardown)."""
+        with self._lock:
+            timers = list(self._timers)
+        for timer in timers:
+            timer.join(timeout)

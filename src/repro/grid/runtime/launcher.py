@@ -99,6 +99,7 @@ class RuntimeConfig:
     duplication_threshold: int = 64
     checkpoint_dir: Optional[Path] = None
     checkpoint_period: float = 2.0
+    journal: bool = True  # reconciliation journal between snapshots
     initial_upper_bound: float = float("inf")
     initial_solution: Any = None
     deadline: float = 300.0  # wall-clock safety net (seconds)
@@ -205,6 +206,7 @@ def solve_parallel(spec: ProblemSpec, config: Optional[RuntimeConfig] = None) ->
             config.initial_upper_bound, config.initial_solution
         ),
         lease_seconds=config.lease_seconds,
+        journal=config.journal,
     )
 
     ctx = mp.get_context("fork") if hasattr(mp, "get_context") else mp
@@ -291,6 +293,7 @@ def solve_parallel(spec: ProblemSpec, config: Optional[RuntimeConfig] = None) ->
                     duplication_threshold=config.duplication_threshold,
                     checkpoint_period=config.checkpoint_period,
                     lease_seconds=config.lease_seconds,
+                    journal=config.journal,
                 )
                 coordinator_restarts += 1
                 down_until = None

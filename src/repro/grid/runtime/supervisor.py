@@ -1,0 +1,243 @@
+"""Process-level worker supervision — ``repro grid fleet``.
+
+The paper's volatile-node model with real PIDs: a fleet of worker
+*slots*, each running ``repro grid worker`` (or any command the caller
+builds) as a genuine OS subprocess.  The supervisor watches for exits
+and respawns non-clean ones with decorrelated-jitter backoff
+(:func:`~repro.grid.net.backoff.decorrelated_jitter`), so a mass kill
+does not respawn the whole fleet in lock step against a coordinator
+that is itself recovering.
+
+Exit-code contract (what ``repro grid worker`` produces):
+
+* ``0`` — the coordinator said Terminate: the run is over, the slot is
+  done and is **not** respawned;
+* anything else — a crash, a ``kill -9``, or a worker that gave up on
+  an unreachable coordinator: the slot respawns after backoff.
+
+The supervisor never parses worker output and keeps no worker state —
+all run state lives in the coordinator's INTERVALS (§4.1), which is
+exactly why a respawned worker can simply connect and ask for work.
+"""
+
+from __future__ import annotations
+
+import random
+import signal
+import subprocess
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.grid.net.backoff import decorrelated_jitter
+
+__all__ = ["FleetReport", "RespawnPolicy", "SlotStatus", "WorkerSupervisor"]
+
+#: Builds the argv for one incarnation: ``(slot, incarnation) -> argv``.
+CommandFactory = Callable[[int, int], Sequence[str]]
+
+
+@dataclass(frozen=True)
+class RespawnPolicy:
+    """How exits are answered."""
+
+    backoff_base: float = 0.2
+    backoff_cap: float = 5.0
+    #: Per-slot respawn budget; ``None`` is unlimited (a grid node that
+    #: keeps dying keeps being restarted — the §4.1 invariant makes
+    #: that safe, if wasteful).
+    max_respawns: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.backoff_base <= 0 or self.backoff_cap < self.backoff_base:
+            raise ValueError("need 0 < backoff_base <= backoff_cap")
+        if self.max_respawns is not None and self.max_respawns < 0:
+            raise ValueError("max_respawns must be >= 0")
+
+
+@dataclass
+class SlotStatus:
+    """Lifecycle record of one worker slot."""
+
+    slot: int
+    incarnations: int = 0
+    respawns: int = 0
+    exit_codes: List[int] = field(default_factory=list)
+    pid: Optional[int] = None
+    done: bool = False
+    #: Why the slot stopped: "clean" (exit 0), "budget" (respawn budget
+    #: exhausted), "stopped" (supervisor shut the fleet down), or ""
+    #: while still running.
+    outcome: str = ""
+
+
+@dataclass
+class FleetReport:
+    """What :meth:`WorkerSupervisor.run` observed."""
+
+    slots: List[SlotStatus]
+    wall_seconds: float
+    timed_out: bool = False
+
+    @property
+    def respawns(self) -> int:
+        return sum(s.respawns for s in self.slots)
+
+    @property
+    def all_clean(self) -> bool:
+        return all(s.outcome == "clean" for s in self.slots)
+
+
+class WorkerSupervisor:
+    """Spawn ``workers`` subprocesses and keep them alive until done.
+
+    ``command_for(slot, incarnation)`` builds each incarnation's argv —
+    incarnation numbers let callers give every restart a distinct
+    worker id, though reusing the slot id is equally valid (the
+    coordinator reconciles either way).  ``quiet`` routes child
+    stdout/stderr to ``/dev/null`` (tests); by default children inherit
+    the supervisor's streams.
+    """
+
+    def __init__(
+        self,
+        command_for: CommandFactory,
+        workers: int,
+        policy: Optional[RespawnPolicy] = None,
+        poll_interval: float = 0.1,
+        seed: int = 0,
+        quiet: bool = False,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self._command_for = command_for
+        self._policy = policy or RespawnPolicy()
+        self._poll_interval = poll_interval
+        self._quiet = quiet
+        self._rng = random.Random(seed)
+        self._procs: Dict[int, Optional[subprocess.Popen]] = {
+            slot: None for slot in range(workers)
+        }
+        #: monotonic deadline before which a slot must not respawn
+        self._respawn_at: Dict[int, float] = {}
+        self._backoff: Dict[int, float] = {
+            slot: self._policy.backoff_base for slot in range(workers)
+        }
+        self.slots: List[SlotStatus] = [
+            SlotStatus(slot) for slot in range(workers)
+        ]
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn every slot's first incarnation."""
+        for slot in range(len(self.slots)):
+            self._spawn(slot)
+
+    def _spawn(self, slot: int) -> None:
+        status = self.slots[slot]
+        argv = list(self._command_for(slot, status.incarnations))
+        sink = subprocess.DEVNULL if self._quiet else None
+        proc = subprocess.Popen(argv, stdout=sink, stderr=sink)
+        self._procs[slot] = proc
+        self._respawn_at.pop(slot, None)
+        status.incarnations += 1
+        status.pid = proc.pid
+
+    def poll(self, now: Optional[float] = None) -> None:
+        """One supervision step: reap exits, schedule/execute respawns."""
+        if now is None:
+            now = time.monotonic()
+        policy = self._policy
+        for slot, status in enumerate(self.slots):
+            if status.done:
+                continue
+            proc = self._procs[slot]
+            if proc is not None:
+                code = proc.poll()
+                if code is None:
+                    continue  # still running
+                status.exit_codes.append(code)
+                status.pid = None
+                self._procs[slot] = None
+                if code == 0:
+                    status.done = True
+                    status.outcome = "clean"
+                    continue
+                if (
+                    policy.max_respawns is not None
+                    and status.respawns >= policy.max_respawns
+                ):
+                    status.done = True
+                    status.outcome = "budget"
+                    continue
+                delay = decorrelated_jitter(
+                    self._rng,
+                    policy.backoff_base,
+                    self._backoff[slot],
+                    policy.backoff_cap,
+                )
+                self._backoff[slot] = delay
+                self._respawn_at[slot] = now + delay
+            elif slot in self._respawn_at and now >= self._respawn_at[slot]:
+                status.respawns += 1
+                self._spawn(slot)
+
+    # ------------------------------------------------------------------
+    def pids(self) -> Dict[int, Optional[int]]:
+        """Current PID per slot (None while down or after done)."""
+        return {slot: s.pid for slot, s in enumerate(self.slots)}
+
+    def kill(self, slot: int, sig: int = signal.SIGKILL) -> Optional[int]:
+        """Signal one slot's current incarnation; returns the PID hit.
+
+        Fault injection's entry point — a returned PID was a real
+        process that just took a real signal.
+        """
+        proc = self._procs.get(slot)
+        if proc is None or proc.poll() is not None:
+            return None
+        pid = proc.pid
+        proc.send_signal(sig)
+        return pid
+
+    def stop(self, sig: int = signal.SIGTERM) -> None:
+        """Terminate every live incarnation and mark the fleet done."""
+        for slot, status in enumerate(self.slots):
+            proc = self._procs[slot]
+            if proc is not None and proc.poll() is None:
+                try:
+                    proc.send_signal(sig)
+                    proc.wait(timeout=5.0)
+                except (OSError, subprocess.TimeoutExpired):
+                    proc.kill()
+                    proc.wait(timeout=5.0)
+                status.exit_codes.append(proc.returncode)
+                self._procs[slot] = None
+                status.pid = None
+            if not status.done:
+                status.done = True
+                status.outcome = "stopped"
+
+    def run(self, deadline: Optional[float] = None) -> FleetReport:
+        """Supervise until every slot is done (or the deadline passes)."""
+        started = time.monotonic()
+        self.start()
+        timed_out = False
+        try:
+            while not all(s.done for s in self.slots):
+                self.poll()
+                if (
+                    deadline is not None
+                    and time.monotonic() - started > deadline
+                ):
+                    timed_out = True
+                    break
+                time.sleep(self._poll_interval)
+        finally:
+            if timed_out or not all(s.done for s in self.slots):
+                self.stop()
+        return FleetReport(
+            slots=list(self.slots),
+            wall_seconds=time.monotonic() - started,
+            timed_out=timed_out,
+        )

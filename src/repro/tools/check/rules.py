@@ -22,6 +22,7 @@ __all__ = [
     "SimulatorDeterminism",
     "NoBlockingIOInAsync",
     "TypedCoreDiscipline",
+    "DurableCheckpointWrites",
 ]
 
 
@@ -590,3 +591,99 @@ class TypedCoreDiscipline(Rule):
                     f"def {node.name}: missing return annotation "
                     "(typed-core module)",
                 )
+
+
+@register
+class DurableCheckpointWrites(Rule):
+    """RC08 — checkpoint state reaches disk only through the durable API.
+
+    PR 6's crash-only recovery holds because every checkpoint artifact
+    is either written atomically (tmpfile + fsync + ``os.replace`` in
+    ``_atomic_write_json``) or appended with a per-record CRC through
+    ``CheckpointJournal``.  A raw ``open(path, "w")`` on a checkpoint
+    path can be torn by a ``kill -9`` mid-write, and a torn INTERVALS
+    file silently drops sub-intervals — lost work the §4.1 invariant
+    can never detect.
+    """
+
+    code: ClassVar[str] = "RC08"
+    title: ClassVar[str] = "checkpoint writes go through the durable API"
+    invariant: ClassVar[str] = (
+        "INTERVALS/SOLUTION/journal/epoch files survive kill -9 "
+        "mid-write (atomic replace or CRC-framed append only)"
+    )
+    scope: ClassVar[Tuple[str, ...]] = (
+        "repro/core/*.py",
+        "repro/grid/*.py",
+    )
+    #: The durable API's own implementation — the one place raw file
+    #: writes on checkpoint paths are the point.
+    allowed: ClassVar[Tuple[str, ...]] = ("repro/core/checkpoint.py",)
+
+    #: Identifiers that mark an expression as a checkpoint artifact.
+    TAINTED: ClassVar[FrozenSet[str]] = frozenset(
+        {
+            "checkpoint",
+            "checkpoint_dir",
+            "checkpoint_path",
+            "intervals_path",
+            "solution_path",
+            "journal_path",
+            "epoch_path",
+            "snapshot_path",
+        }
+    )
+    WRITE_MODES: ClassVar[FrozenSet[str]] = frozenset(
+        {"w", "w+", "wb", "w+b", "wt", "a", "a+", "ab", "a+b", "at", "x", "xb"}
+    )
+
+    def _tainted(self, node: ast.AST) -> bool:
+        return bool(_identifiers(node) & self.TAINTED)
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if any(_match(ctx.rel, p) for p in self.allowed):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Name)
+                and func.id == "open"
+                and node.args
+                and self._tainted(node.args[0])
+                and self._write_mode(node)
+            ):
+                yield self.violation(
+                    ctx,
+                    node,
+                    "raw open(..., 'w'/'a') on a checkpoint path — a "
+                    "kill -9 mid-write tears the file; use "
+                    "_atomic_write_json or the CheckpointJournal API",
+                )
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr in ("write_text", "write_bytes")
+                and self._tainted(func.value)
+            ):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f".{func.attr}() on a checkpoint path is not "
+                    "atomic — use _atomic_write_json or the "
+                    "CheckpointJournal API",
+                )
+
+    def _write_mode(self, node: ast.Call) -> bool:
+        mode: Optional[ast.AST] = None
+        if len(node.args) > 1:
+            mode = node.args[1]
+        else:
+            for kw in node.keywords:
+                if kw.arg == "mode":
+                    mode = kw.value
+        if mode is None:
+            return False  # bare open(path) is read-only
+        if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+            return mode.value in self.WRITE_MODES
+        return True  # dynamic mode: assume the worst

@@ -1,0 +1,49 @@
+"""Smoke test for the PR 6 recovery benchmark (quick configuration).
+
+Runs the real benchmark end to end on a tiny instance: both recovery
+modes must still prove the serial optimum, and journal replay must
+re-explore strictly fewer nodes than the snapshot-only restart — the
+claim BENCH_PR6.json records.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parents[1] / "benchmarks"
+if str(BENCH_DIR) not in sys.path:
+    sys.path.insert(0, str(BENCH_DIR))
+
+from bench_recovery import run_benchmark  # noqa: E402
+
+
+def test_quick_benchmark_report_shape():
+    report = run_benchmark(quick=True)
+
+    assert report["pr"] == 6
+    assert report["quick"] is True
+    assert report["workload"]["serial_cost"] > 0
+
+    assert report["recovery_cases"], "no recovery cases ran"
+    for case in report["recovery_cases"]:
+        journal = case["journal"]
+        snapshot_only = case["snapshot_only"]
+        # run_benchmark raises when either mode misses the serial
+        # optimum; these flags record that the checks ran.
+        assert journal["serial_identical_optimum"] is True
+        assert snapshot_only["serial_identical_optimum"] is True
+        # The journal replayed real records and lost less work.
+        assert journal["replayed_records"] > 0
+        assert snapshot_only["replayed_records"] == 0
+        assert (
+            journal["nodes_re_explored"]
+            < snapshot_only["nodes_re_explored"]
+        )
+        assert case["journal_saves_nodes"] > 0
+
+    assert report["journal_strictly_fewer_nodes"] is True
+
+    latencies = report["replay_latency"]
+    assert [row["records"] for row in latencies] == [0, 64, 1024]
+    assert all(row["load_seconds"] >= 0 for row in latencies)

@@ -438,6 +438,68 @@ def test_rc07_out_of_scope_module_is_ignored(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# RC08 — durable checkpoint writes
+
+
+def test_rc08_flags_raw_write_on_checkpoint_paths(tmp_path):
+    result = run_check(
+        tmp_path,
+        "repro/grid/runtime/coordinator.py",
+        """\
+        import json
+
+
+        def persist(store, payload):
+            with open(store.intervals_path, "w") as handle:
+                json.dump(payload, handle)
+
+
+        def note_epoch(epoch_path, epoch):
+            epoch_path.write_text(str(epoch))
+        """,
+        select=["RC08"],
+    )
+    assert codes(result) == ["RC08", "RC08"]
+    assert [v.line for v in result.violations] == [5, 10]
+    assert "_atomic_write_json" in result.violations[0].message
+
+
+def test_rc08_reads_and_unrelated_writes_pass(tmp_path):
+    result = run_check(
+        tmp_path,
+        "repro/grid/runtime/coordinator.py",
+        """\
+        import json
+
+
+        def load(store):
+            with open(store.intervals_path) as handle:
+                return json.load(handle)
+
+
+        def write_report(report_path, text):
+            with open(report_path, "w") as handle:
+                handle.write(text)
+        """,
+        select=["RC08"],
+    )
+    assert result.clean
+
+
+def test_rc08_checkpoint_module_itself_is_exempt(tmp_path):
+    result = run_check(
+        tmp_path,
+        "repro/core/checkpoint.py",
+        """\
+        def rotate(journal_path):
+            open(journal_path, "wb").close()
+        """,
+        select=["RC08"],
+    )
+    assert result.clean
+
+
+# ----------------------------------------------------------------------
 # Suppressions and RC00
 
 
@@ -527,7 +589,7 @@ def test_syntax_error_reports_check_error_exit_2(tmp_path):
 
 
 def test_every_rule_registered_with_metadata():
-    assert sorted(RULES) == [f"RC0{i}" for i in range(1, 8)]
+    assert sorted(RULES) == [f"RC0{i}" for i in range(1, 9)]
     for code, cls in RULES.items():
         assert cls.code == code
         assert cls.title and cls.invariant and cls.scope

@@ -82,7 +82,12 @@ _MESSAGES = st.one_of(
     st.builds(Reconciled, interval=_interval, best_cost=_cost, seq=_seq),
     st.builds(Ack, best_cost=_cost, seq=_seq),
     st.builds(Terminate, best_cost=_cost, seq=_seq),
-    st.builds(Hello, worker=_worker, power=_cost),
+    st.builds(
+        Hello,
+        worker=_worker,
+        power=_cost,
+        epoch=st.integers(min_value=0, max_value=9),
+    ),
     st.builds(
         Welcome,
         spec=st.one_of(
@@ -98,6 +103,7 @@ _MESSAGES = st.one_of(
             ),
         ),
         best_cost=_cost,
+        epoch=st.integers(min_value=0, max_value=9),
     ),
     st.builds(Heartbeat, worker=_worker),
 )
@@ -120,9 +126,17 @@ class TestRoundTrip:
         assert buf.pending_bytes() == 0
 
     def test_version_field_travels(self):
+        # Runtime protocol messages are stamped with PROTOCOL_VERSION
+        # (still 1); the handshake messages carry WIRE_VERSION, bumped
+        # to 2 when the epoch field joined Hello/Welcome.
         payload = encode_message(Request("w", seq=3))
         assert b'"version":1' in payload
-        assert decode_message(payload).version == WIRE_VERSION
+        assert decode_message(payload).version == 1
+        hello = encode_message(Hello("w", epoch=4))
+        assert b'"version":%d' % WIRE_VERSION in hello
+        decoded = decode_message(hello)
+        assert decoded.version == WIRE_VERSION
+        assert decoded.epoch == 4
 
     def test_interval_bignum_exact(self):
         import math

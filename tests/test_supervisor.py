@@ -1,0 +1,184 @@
+"""Process-level supervision: real PIDs, real signals, real respawns.
+
+Every test spawns genuine subprocesses (tiny ``python -c`` bodies), so
+what is asserted — exits reaped, non-clean slots respawned with
+backoff, budgets enforced, fleets stoppable — is the behaviour
+``repro grid fleet`` exhibits against real worker processes.
+"""
+
+import signal
+import sys
+import time
+
+import pytest
+
+from repro.grid.runtime.supervisor import (
+    FleetReport,
+    RespawnPolicy,
+    SlotStatus,
+    WorkerSupervisor,
+)
+
+PY = sys.executable
+
+
+def py(body):
+    return [PY, "-c", body]
+
+
+def wait_until(predicate, timeout=10.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+FAST_POLICY = RespawnPolicy(backoff_base=0.01, backoff_cap=0.05)
+
+
+def test_clean_exit_is_not_respawned():
+    sup = WorkerSupervisor(
+        lambda slot, inc: py("pass"), workers=2, policy=FAST_POLICY,
+        poll_interval=0.01, quiet=True,
+    )
+    report = sup.run(deadline=10.0)
+    assert report.all_clean
+    assert report.respawns == 0
+    assert [s.exit_codes for s in report.slots] == [[0], [0]]
+
+
+def test_crashing_slot_respawns_until_budget():
+    policy = RespawnPolicy(
+        backoff_base=0.01, backoff_cap=0.05, max_respawns=2
+    )
+    sup = WorkerSupervisor(
+        lambda slot, inc: py("raise SystemExit(7)"), workers=1,
+        policy=policy, poll_interval=0.01, quiet=True,
+    )
+    report = sup.run(deadline=10.0)
+    status = report.slots[0]
+    assert status.outcome == "budget"
+    assert status.incarnations == 3  # initial + 2 respawns
+    assert status.exit_codes == [7, 7, 7]
+    assert not report.all_clean
+
+
+def test_command_factory_sees_incarnation_numbers():
+    seen = []
+
+    def command_for(slot, incarnation):
+        seen.append((slot, incarnation))
+        # First incarnation crashes, the respawn exits clean.
+        return py("pass" if incarnation else "raise SystemExit(1)")
+
+    sup = WorkerSupervisor(
+        command_for, workers=1, policy=FAST_POLICY,
+        poll_interval=0.01, quiet=True,
+    )
+    report = sup.run(deadline=10.0)
+    assert report.all_clean
+    assert report.respawns == 1
+    assert seen == [(0, 0), (0, 1)]
+
+
+def test_kill_delivers_a_real_signal_and_slot_respawns():
+    def command_for(slot, incarnation):
+        if incarnation == 0:
+            return py("import time; time.sleep(60)")
+        return py("pass")
+
+    sup = WorkerSupervisor(
+        command_for, workers=1, policy=FAST_POLICY,
+        poll_interval=0.01, quiet=True,
+    )
+    sup.start()
+    try:
+        pid = sup.kill(0, signal.SIGKILL)
+        assert pid is not None
+        assert wait_until(
+            lambda: (sup.poll() or sup.slots[0].done)
+        )
+    finally:
+        sup.stop()
+    status = sup.slots[0]
+    assert status.outcome == "clean"
+    assert status.exit_codes[0] == -signal.SIGKILL
+    assert status.respawns == 1
+
+
+def test_stop_terminates_live_children():
+    sup = WorkerSupervisor(
+        lambda slot, inc: py("import time; time.sleep(60)"),
+        workers=2, policy=FAST_POLICY, poll_interval=0.01, quiet=True,
+    )
+    sup.start()
+    pids = sup.pids()
+    assert all(pid is not None for pid in pids.values())
+    sup.stop()
+    assert all(s.outcome == "stopped" for s in sup.slots)
+    assert all(s.pid is None for s in sup.slots)
+
+
+def test_deadline_times_out_and_stops_the_fleet():
+    sup = WorkerSupervisor(
+        lambda slot, inc: py("import time; time.sleep(60)"),
+        workers=1, policy=FAST_POLICY, poll_interval=0.01, quiet=True,
+    )
+    report = sup.run(deadline=0.3)
+    assert report.timed_out
+    assert report.slots[0].outcome == "stopped"
+
+
+def test_kill_on_a_finished_slot_returns_none():
+    sup = WorkerSupervisor(
+        lambda slot, inc: py("pass"), workers=1, policy=FAST_POLICY,
+        poll_interval=0.01, quiet=True,
+    )
+    sup.run(deadline=10.0)
+    assert sup.kill(0) is None
+
+
+def test_respawn_backoff_is_scheduled_not_immediate():
+    sup = WorkerSupervisor(
+        lambda slot, inc: py("raise SystemExit(1)"), workers=1,
+        policy=RespawnPolicy(backoff_base=30.0, backoff_cap=60.0),
+        poll_interval=0.01, quiet=True,
+    )
+    sup.start()
+    try:
+        assert wait_until(lambda: sup._procs[0].poll() is not None)
+        t0 = time.monotonic()
+        sup.poll(now=t0)  # reaps the exit, schedules the respawn
+        sup.poll(now=t0 + 1.0)  # well inside the 30s backoff window
+        assert sup.slots[0].respawns == 0
+        assert sup.pids()[0] is None
+        sup.poll(now=t0 + 120.0)  # past any decorrelated-jitter draw
+        assert sup.slots[0].respawns == 1
+        assert sup.pids()[0] is not None
+    finally:
+        sup.stop()
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        RespawnPolicy(backoff_base=0.0)
+    with pytest.raises(ValueError):
+        RespawnPolicy(backoff_base=2.0, backoff_cap=1.0)
+    with pytest.raises(ValueError):
+        RespawnPolicy(max_respawns=-1)
+    with pytest.raises(ValueError):
+        WorkerSupervisor(lambda s, i: py("pass"), workers=0)
+
+
+def test_fleet_report_properties():
+    report = FleetReport(
+        slots=[
+            SlotStatus(0, respawns=2, done=True, outcome="clean"),
+            SlotStatus(1, respawns=1, done=True, outcome="budget"),
+        ],
+        wall_seconds=1.0,
+    )
+    assert report.respawns == 3
+    assert not report.all_clean
