@@ -56,10 +56,11 @@ bench:
 bench-show:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
-# Engine throughput: batched child bounding vs the per-node path.
-# Regenerates BENCH_PR2.json (see docs/performance.md).
+# Engine throughput: pool-evaluation kernel backends vs batched vs the
+# per-node path.  Regenerates BENCH_PR7.json (see docs/performance.md).
+# QUICK=1 runs the tiny smoke configuration (stdout only, no artifact).
 bench-engine:
-	PYTHONPATH=src $(PYTHON) benchmarks/bench_engine_throughput.py
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_engine_throughput.py $(if $(QUICK),--quick)
 
 # Parallel runtime scaling: adaptive slicing, pipelined updates and the
 # shared-memory incumbent at 1/2/4/8 workers.  Regenerates BENCH_PR3.json.

@@ -18,10 +18,14 @@ Correspondence with the paper's four operators (§2):
 * **bounding** — delegated to :meth:`Problem.lower_bound`, or, when a
   problem implements :meth:`Problem.bound_children`, evaluated for all
   siblings at once at decomposition time (the batched-kernel structure
-  of the GPU-B&B follow-on work); cached bounds are re-checked against
-  the *current* incumbent when a node is popped, so the explored /
-  pruned / decomposed / bound-evaluation totals are identical to the
-  per-node path;
+  of the GPU-B&B follow-on work); with a pool kernel backend
+  (:mod:`repro.core.kernels`) the engine goes further and bounds the
+  children of a whole *pool* of same-depth frontier nodes in one
+  backend call.  Bounds never depend on the incumbent, so evaluating
+  them ahead of DFS order is semantically invisible: cached bounds are
+  re-checked against the *current* incumbent when a node is popped,
+  and the explored / pruned / decomposed / bound-evaluation totals are
+  identical to the per-node path on every backend;
 * **elimination** — a node is eliminated when its bound reaches the
   incumbent cost *or* when its number falls outside the owned interval
   (the eq. 12 rule that makes work units independent).
@@ -35,6 +39,7 @@ from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.active_list import ActiveList, ActiveNode
 from repro.core.interval import Interval
+from repro.core.kernels import PoolEvaluator, pool_evaluator_for
 from repro.core.problem import Problem
 from repro.core.stats import ExplorationStats, Incumbent
 from repro.core.tree import TreeShape
@@ -82,10 +87,13 @@ class _Entry:
     batched :meth:`Problem.bound_children` call at decomposition time
     (``None`` on the per-node path); the bound of a node never depends
     on the incumbent, so the cached value stays valid and only the
-    prune *comparison* is deferred to pop time.
+    prune *comparison* is deferred to pop time.  ``child_bounds``
+    likewise caches the bounds of this entry's children when a pool
+    kernel evaluated them ahead of the pop (bound-ahead speculation —
+    again incumbent-free, so always valid once computed).
     """
 
-    __slots__ = ("ranks", "state", "number", "bound")
+    __slots__ = ("ranks", "state", "number", "bound", "child_bounds")
 
     def __init__(
         self,
@@ -98,6 +106,7 @@ class _Entry:
         self.state = state
         self.number = number
         self.bound = bound
+        self.child_bounds: Optional[List[float]] = None
 
 
 class IntervalExplorer:
@@ -134,6 +143,20 @@ class IntervalExplorer:
     bound_poll_nodes:
         How many nodes to explore between provider polls (default 256;
         ignored without a provider).
+    kernel_backend:
+        Pool bound-kernel backend (:mod:`repro.core.kernels`).
+        ``None`` (auto, the default) pools with the ``numpy`` backend
+        whenever the problem registered pooled kernels; ``"off"``
+        disables pooling (the plain PR 2 batched path); ``"numpy"`` /
+        ``"numba"`` / ``"cupy"`` select a backend explicitly (optional
+        backends degrade to numpy with a one-time warning when their
+        dependency is missing).  Ignored when ``batched_bounds=False``
+        — the scalar path is the oracle and stays pure.
+    pool_size:
+        Maximum number of frontier nodes bounded per pool call
+        (default 64).  Pooling only *reorders when bound arithmetic
+        runs* — never which nodes are popped, pruned or counted — so
+        any value >= 1 yields identical results and stats.
     """
 
     def __init__(
@@ -146,6 +169,8 @@ class IntervalExplorer:
         batched_bounds: Optional[bool] = None,
         bound_provider: Optional[Callable[[], float]] = None,
         bound_poll_nodes: int = 256,
+        kernel_backend: Optional[str] = None,
+        pool_size: int = 64,
     ):
         self.problem = problem
         if batched_bounds is None:
@@ -153,6 +178,18 @@ class IntervalExplorer:
                 type(problem).bound_children is not Problem.bound_children
             )
         self._batched_bounds = bool(batched_bounds)
+        if pool_size < 1:
+            raise EngineError("pool_size must be >= 1")
+        self.pool_size = pool_size
+        # How many stack entries one refill may inspect: bounded so a
+        # deep frontier does not turn every pool fill into an O(stack)
+        # scan when few candidates qualify.
+        self._pool_scan = max(4 * pool_size, 64)
+        self._pool_evaluator: Optional[PoolEvaluator] = (
+            pool_evaluator_for(problem, kernel_backend)
+            if self._batched_bounds
+            else None
+        )
         self.shape: TreeShape = problem.tree_shape()
         self._weights = self.shape.weights()
         full = Interval(0, self.shape.total_leaves)
@@ -304,6 +341,7 @@ class IntervalExplorer:
         weights = self._weights
         stats = self.stats
         batched = self._batched_bounds
+        pool_evaluator = self._pool_evaluator
         processed = 0
         improved = False
         provider = self.bound_provider
@@ -357,22 +395,29 @@ class IntervalExplorer:
 
             stats.nodes_decomposed += 1
             child_depth = depth + 1
-            child_bounds = None
-            if batched and child_depth < leaf_depth:
-                child_bounds = problem.bound_children(entry.state, depth)
-                if child_bounds is not None:
-                    if len(child_bounds) != self.shape.num_children(depth):
+            child_bounds: Optional[List[float]] = entry.child_bounds
+            if (
+                child_bounds is None
+                and pool_evaluator is not None
+                and child_depth < leaf_depth
+            ):
+                child_bounds = self._pool_fill(pool_evaluator, entry, depth)
+            if child_bounds is None and batched and child_depth < leaf_depth:
+                raw_bounds = problem.bound_children(entry.state, depth)
+                if raw_bounds is not None:
+                    if len(raw_bounds) != self.shape.num_children(depth):
                         raise ProblemError(
                             f"{problem.name()}.bound_children returned "
-                            f"{len(child_bounds)} bounds at depth {depth}, "
+                            f"{len(raw_bounds)} bounds at depth {depth}, "
                             f"shape expects {self.shape.num_children(depth)}"
                         )
                     # One bulk conversion: comparing / storing plain
                     # Python scalars is cheaper per child than ndarray
                     # scalar indexing.
-                    tolist = getattr(child_bounds, "tolist", None)
-                    if tolist is not None:
-                        child_bounds = tolist()
+                    tolist = getattr(raw_bounds, "tolist", None)
+                    child_bounds = (
+                        tolist() if tolist is not None else list(raw_bounds)
+                    )
             children = self._branch_checked(entry.state, depth)
             child_weight = weights[child_depth]
             if child_bounds is None:
@@ -420,6 +465,58 @@ class IntervalExplorer:
 
         return StepReport(processed, finished=not stack, improved=improved)
 
+    def _pool_fill(
+        self, evaluator: PoolEvaluator, entry: _Entry, depth: int
+    ) -> Optional[List[float]]:
+        """Bound-ahead refill: child bounds for ``entry`` plus up to
+        ``pool_size - 1`` more same-depth frontier entries, one call.
+
+        Only *bounding* runs ahead of DFS order here — bounds are pure
+        functions of the state, independent of the incumbent — so the
+        speculation cannot change which nodes are popped, pruned,
+        decomposed or counted; it only moves the arithmetic of nodes
+        the DFS would bound anyway into one amortised backend call.
+        Candidates are taken from the top of the stack (the DFS-soonest
+        entries), skipping entries that already carry child bounds,
+        sit at another depth, fell out of the owned interval, or whose
+        own cached bound already reaches the incumbent — those are
+        certain to be pruned at pop time, so their children are never
+        needed (wasted speculation, not a semantic hazard).
+        """
+        group = [entry]
+        if self.pool_size > 1:
+            cost = self.incumbent.cost
+            end = self._end
+            budget = self._pool_scan
+            for cand in reversed(self._stack):
+                if len(group) >= self.pool_size or budget <= 0:
+                    break
+                budget -= 1
+                if (
+                    cand.child_bounds is not None
+                    or len(cand.ranks) != depth
+                    or cand.number >= end
+                    or (cand.bound is not None and cand.bound >= cost)
+                ):
+                    continue
+                group.append(cand)
+        results = evaluator([cand.state for cand in group], depth)
+        if results is None:
+            return None
+        expected = self.shape.num_children(depth)
+        for cand, row in zip(group, results):
+            if row is None:
+                continue
+            if len(row) != expected:
+                raise ProblemError(
+                    f"{self.problem.name()} pool kernel returned "
+                    f"{len(row)} bounds at depth {depth}, "
+                    f"shape expects {expected}"
+                )
+            tolist = getattr(row, "tolist", None)
+            cand.child_bounds = tolist() if tolist is not None else list(row)
+        return entry.child_bounds
+
     def run(self) -> ExplorationStats:
         """Explore the whole owned interval to completion."""
         while not self.is_finished():
@@ -438,6 +535,8 @@ def solve(
     initial_solution: Any = None,
     on_improvement: Optional[ImprovementCallback] = None,
     batched_bounds: Optional[bool] = None,
+    kernel_backend: Optional[str] = None,
+    pool_size: int = 64,
 ) -> SolveResult:
     """Sequentially solve ``problem`` (over ``interval``) with proof.
 
@@ -448,6 +547,9 @@ def solve(
     ``initial_upper_bound`` for the same effect (note: with a pure
     bound and no solution, an instance whose optimum equals the bound
     reports ``solution=None``; pass ``initial_solution`` to keep it).
+    ``kernel_backend`` / ``pool_size`` select the pool bound-kernel
+    backend (see :class:`IntervalExplorer`); the default pools with
+    numpy on problems that register pooled kernels.
     """
     incumbent = Incumbent(initial_upper_bound, initial_solution)
     explorer = IntervalExplorer(
@@ -456,6 +558,8 @@ def solve(
         incumbent=incumbent,
         on_improvement=on_improvement,
         batched_bounds=batched_bounds,
+        kernel_backend=kernel_backend,
+        pool_size=pool_size,
     )
     explorer.run()
     full = Interval(0, problem.total_leaves()) if interval is None else interval

@@ -1,0 +1,81 @@
+"""The CuPy GPU pool backend (stub, optional dependency).
+
+Wired through the same :class:`BoundKernel` interface as numpy and
+numba so ``get_backend("cupy")`` resolves, the CLI accepts
+``--kernel-backend cupy``, and a GPU port only has to register pool
+factories under ``"cupy"`` — the engine side is already done.  This is
+the slot the GPU flow-shop B&B line (Chakroun & Melab; Gmys, see
+PAPERS.md) plugs into: their 100x comes from bounding thousands of
+pool nodes per kernel launch, exactly the pool shape the engine hands
+evaluators here.
+
+No cupy factories ship yet, and cupy is imported lazily (rule RC09):
+without cupy — or until a factory is registered — the backend warns
+once and degrades to the numpy backend, so selecting it never breaks
+a run.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any, Optional
+
+from repro.core.kernels.base import BoundKernel, PoolEvaluator
+from repro.core.kernels.registry import get_backend, pool_factory_for
+
+__all__ = ["CupyKernel"]
+
+
+class CupyKernel(BoundKernel):
+    """GPU pool-kernel slot; falls back to numpy until kernels land."""
+
+    name = "cupy"
+
+    def __init__(self) -> None:
+        self._probed: Optional[bool] = None
+        self._warned = False
+
+    def available(self) -> bool:
+        if self._probed is None:
+            try:
+                import cupy  # noqa: F401  # lazy probe of the optional dep
+            except Exception:
+                self._probed = False
+            else:
+                self._probed = True
+        return self._probed
+
+    def unavailable_reason(self) -> Optional[str]:
+        if self.available():
+            return None
+        return "cupy is not installed (pip install 'cupy-cuda12x' or similar)"
+
+    def _warn_once(self, message: str) -> None:
+        if not self._warned:
+            self._warned = True
+            warnings.warn(message, RuntimeWarning, stacklevel=3)
+
+    def evaluator_for(self, problem: Any) -> Optional[PoolEvaluator]:
+        if self.available():
+            factory = pool_factory_for(self.name, type(problem))
+            if factory is not None:
+                try:
+                    evaluator = factory(problem)
+                except Exception as exc:
+                    self._warn_once(
+                        f"cupy kernel setup failed ({exc!r}); "
+                        f"falling back to the numpy pool backend"
+                    )
+                else:
+                    if evaluator is not None:
+                        return evaluator
+            self._warn_once(
+                "kernel backend 'cupy' has no GPU kernels registered for "
+                f"{type(problem).__name__} yet; using the numpy pool backend"
+            )
+        else:
+            self._warn_once(
+                "kernel backend 'cupy' requested but cupy is not "
+                "installed; falling back to the numpy pool backend"
+            )
+        return get_backend("numpy").evaluator_for(problem)

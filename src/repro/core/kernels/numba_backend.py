@@ -1,0 +1,75 @@
+"""The numba JIT pool backend (optional dependency).
+
+Resolves factories registered under ``"numba"`` — the flowshop LB1 /
+LB2 loop kernels in :mod:`repro.problems.flowshop.kernels_numba` —
+compiling them on first use.  numba itself is imported lazily and only
+from inside this package (rule RC09); when it is missing, or a compile
+fails, the backend warns **once per process** and degrades to the
+numpy backend's evaluator, so ``--kernel-backend numba`` never breaks
+a run on a machine without the accelerator.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any, Optional
+
+from repro.core.kernels.base import BoundKernel, PoolEvaluator
+from repro.core.kernels.registry import get_backend, pool_factory_for
+
+__all__ = ["NumbaKernel"]
+
+
+class NumbaKernel(BoundKernel):
+    """Flowshop LB1/LB2 inner loops under ``numba.njit``."""
+
+    name = "numba"
+
+    def __init__(self) -> None:
+        self._probed: Optional[bool] = None
+        self._warned = False
+
+    def available(self) -> bool:
+        if self._probed is None:
+            try:
+                import numba  # noqa: F401  # lazy probe of the optional dep
+            except Exception:
+                self._probed = False
+            else:
+                self._probed = True
+        return self._probed
+
+    def unavailable_reason(self) -> Optional[str]:
+        if self.available():
+            return None
+        return "numba is not installed (pip install 'numba')"
+
+    def _warn_once(self, message: str) -> None:
+        if not self._warned:
+            self._warned = True
+            warnings.warn(message, RuntimeWarning, stacklevel=3)
+
+    def evaluator_for(self, problem: Any) -> Optional[PoolEvaluator]:
+        if self.available():
+            factory = pool_factory_for(self.name, type(problem))
+            if factory is not None:
+                try:
+                    evaluator = factory(problem)
+                except Exception as exc:
+                    self._warn_once(
+                        f"numba kernel setup failed ({exc!r}); "
+                        f"falling back to the numpy pool backend"
+                    )
+                else:
+                    if evaluator is not None:
+                        return evaluator
+            # No numba kernels for this problem type: pool with numpy
+            # silently — that is still the documented behaviour, not a
+            # degraded install.
+        else:
+            self._warn_once(
+                "kernel backend 'numba' requested but numba is not "
+                "installed; falling back to the numpy pool backend "
+                "(pip install 'numba' for the JIT kernels)"
+            )
+        return get_backend("numpy").evaluator_for(problem)

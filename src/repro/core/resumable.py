@@ -44,6 +44,10 @@ class ResumableSolver:
         directory starts from the root interval.
     checkpoint_nodes:
         Explore this many nodes between checkpoints.
+    kernel_backend / pool_size:
+        Pool-evaluation kernel configuration forwarded to the
+        underlying :class:`IntervalExplorer` (see
+        :mod:`repro.core.kernels`).
 
     Example
     -------
@@ -59,6 +63,8 @@ class ResumableSolver:
         checkpoint_nodes: int = 100_000,
         initial_upper_bound: float = math.inf,
         initial_solution=None,
+        kernel_backend=None,
+        pool_size: int = 64,
     ):
         self.problem = problem
         self.store = CheckpointStore(Path(directory))
@@ -78,7 +84,11 @@ class ResumableSolver:
         if incumbent is None:
             incumbent = Incumbent(initial_upper_bound, initial_solution)
         self.explorer = IntervalExplorer(
-            problem, interval, incumbent=incumbent
+            problem,
+            interval,
+            incumbent=incumbent,
+            kernel_backend=kernel_backend,
+            pool_size=pool_size,
         )
         self._checkpoint()  # make the starting state durable immediately
 

@@ -276,6 +276,8 @@ def run_worker(
     max_reconnect_attempts: Optional[int] = None,
     reconnect_base: float = 0.05,
     backoff_cap: float = 2.0,
+    kernel_backend: Optional[str] = None,
+    pool_size: int = 64,
 ) -> str:
     """Connect to a :class:`GridServer` and work until terminated.
 
@@ -327,4 +329,6 @@ def run_worker(
         min_slice_nodes=min_slice_nodes,
         max_slice_nodes=max_slice_nodes,
         pipeline_updates=pipeline_updates,
+        kernel_backend=kernel_backend,
+        pool_size=pool_size,
     )

@@ -265,6 +265,8 @@ def worker_main(
     pipeline_updates: bool = True,
     shared_bound: Optional[SharedBound] = None,
     bound_poll_nodes: int = 256,
+    kernel_backend: Optional[str] = None,
+    pool_size: int = 64,
 ) -> str:
     """Run one B&B process until the coordinator says terminate.
 
@@ -280,6 +282,11 @@ def worker_main(
     update is collected at the *next* slice boundary instead of
     immediately.  ``shared_bound`` is the run's advisory
     :class:`~repro.grid.runtime.shared.SharedBound` (or None).
+
+    ``kernel_backend`` / ``pool_size`` configure the pool-evaluation
+    bound kernels of every explorer this worker runs (see
+    :mod:`repro.core.kernels`): ``None`` auto-selects, ``"off"``
+    keeps per-family batched bounds only.
 
     ``crash_after_updates`` makes the worker exit abruptly (no Bye)
     after that many interval updates; ``hang_after_updates`` makes it
@@ -311,6 +318,8 @@ def worker_main(
             pipeline_updates=pipeline_updates,
             shared_bound=shared_bound,
             bound_poll_nodes=bound_poll_nodes,
+            kernel_backend=kernel_backend,
+            pool_size=pool_size,
         )
     finally:
         connection.close()
@@ -334,6 +343,8 @@ def _worker_loop(
     pipeline_updates: bool,
     shared_bound: Optional[SharedBound],
     bound_poll_nodes: int,
+    kernel_backend: Optional[str] = None,
+    pool_size: int = 64,
 ) -> str:
     problem = spec.build()
     stats_total: Dict[str, float] = {
@@ -421,6 +432,8 @@ def _worker_loop(
             on_improvement=on_improvement,
             bound_provider=provider,
             bound_poll_nodes=bound_poll_nodes,
+            kernel_backend=kernel_backend,
+            pool_size=pool_size,
         )
 
         def collect_reconciled() -> str:

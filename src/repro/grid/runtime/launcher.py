@@ -79,6 +79,13 @@ class RuntimeConfig:
     full range — the parallel counterpart of ``solve(..., interval=…)``;
     the proved optimum is then the optimum over that slice.
 
+    ``kernel_backend`` / ``pool_size`` configure every worker
+    explorer's pool-evaluation bound kernels (see
+    :mod:`repro.core.kernels`): ``None`` auto-selects a registered
+    pool kernel, ``"off"`` disables pooling (per-family batched
+    bounds only), a name (``"numpy"``/``"numba"``/``"cupy"``) forces
+    that backend.
+
     ``transport`` selects the wire between coordinator and workers:
     ``"inprocess"`` (fork-inherited multiprocessing queues) or
     ``"tcp"`` (a loopback TCP server; the same forked workers connect
@@ -95,6 +102,8 @@ class RuntimeConfig:
     pipeline_updates: bool = True
     shared_incumbent: bool = True
     bound_poll_nodes: int = 256
+    kernel_backend: Optional[str] = None  # pool kernels: auto/off/name
+    pool_size: int = 64  # frontier entries per pool evaluation
     poll_interval: float = 0.05  # coordinator pump queue wait
     duplication_threshold: int = 64
     checkpoint_dir: Optional[Path] = None
@@ -244,6 +253,8 @@ def solve_parallel(spec: ProblemSpec, config: Optional[RuntimeConfig] = None) ->
                 "pipeline_updates": config.pipeline_updates,
                 "shared_bound": shared_bound,
                 "bound_poll_nodes": config.bound_poll_nodes,
+                "kernel_backend": config.kernel_backend,
+                "pool_size": config.pool_size,
             },
             daemon=True,
         )

@@ -12,7 +12,9 @@ Public surface::
 from repro.problems.flowshop.batch import makespans_batch, random_permutations
 from repro.problems.flowshop.bounds import (
     BoundData,
+    BoundDataCache,
     bound_data_for,
+    clear_bound_data_cache,
     machine_pairs,
     one_machine_bound,
     two_machine_bound,
@@ -31,12 +33,18 @@ from repro.problems.flowshop.johnson import (
 )
 from repro.problems.flowshop.makespan import (
     advance_fronts_batch,
+    advance_fronts_pool,
     completion_front,
     makespan,
     partial_makespan,
     tails_matrix,
 )
 from repro.problems.flowshop.neh import insertion_best_position, neh
+from repro.problems.flowshop.pool import (
+    FlowShopNumbaPool,
+    FlowShopNumpyPool,
+    register_pool_kernels,
+)
 from repro.problems.flowshop.problem import FlowShopProblem, FlowShopState
 from repro.problems.flowshop.reference import (
     KNOWN_OPTIMA,
@@ -53,9 +61,15 @@ from repro.problems.flowshop.taillard import (
 
 __all__ = [
     "BoundData",
+    "BoundDataCache",
     "FlowShopInstance",
+    "FlowShopNumbaPool",
+    "FlowShopNumpyPool",
     "advance_fronts_batch",
+    "advance_fronts_pool",
     "bound_data_for",
+    "clear_bound_data_cache",
+    "register_pool_kernels",
     "FlowShopProblem",
     "FlowShopState",
     "IGResult",

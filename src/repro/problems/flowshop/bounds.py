@@ -29,7 +29,7 @@ suffix maxima of the F2 critical-path terms, making each child's
 
 from __future__ import annotations
 
-from functools import lru_cache
+from collections import OrderedDict
 from typing import Iterable, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
@@ -41,7 +41,9 @@ from repro.problems.flowshop.makespan import tails_matrix
 
 __all__ = [
     "BoundData",
+    "BoundDataCache",
     "bound_data_for",
+    "clear_bound_data_cache",
     "machine_pairs",
     "one_machine_bound",
     "two_machine_bound",
@@ -108,6 +110,31 @@ def _min_over_rows_excluding_self(values: np.ndarray) -> np.ndarray:
     out = np.empty((r, m), dtype=np.int64)
     out[:] = min1
     out[am, cols] = min2
+    return out
+
+
+def _min_over_rows_excluding_self_pool(values: np.ndarray) -> np.ndarray:
+    """Pooled form of :func:`_min_over_rows_excluding_self`.
+
+    ``values`` is ``(N, r, M)``; ``out[n, c, j]`` is the minimum over
+    rows ``i != c`` of ``values[n, i, j]`` — the same best/runner-up
+    swap, batched over the pool axis.  ``argmin`` picks the first
+    minimum along the reduced axis in both forms, so the pooled result
+    matches the per-family kernel slice for slice.
+    """
+    n_pool, r, m = values.shape
+    if r == 1:
+        return np.full((n_pool, 1, m), _INT_MAX, dtype=np.int64)
+    pool_idx = np.arange(n_pool)[:, None]
+    col_idx = np.arange(m)[None, :]
+    am = values.argmin(axis=1)  # (N, M)
+    min1 = values[pool_idx, am, col_idx]
+    masked = values.copy()
+    masked[pool_idx, am, col_idx] = _INT_MAX
+    min2 = masked.min(axis=1)
+    out = np.empty((n_pool, r, m), dtype=np.int64)
+    out[:] = min1[:, None, :]
+    out[pool_idx, am, col_idx] = min2
     return out
 
 
@@ -215,31 +242,41 @@ class BoundData:
         return int(np.max(avail + loads + min_tails))
 
     def two_machine(self, front: np.ndarray, remaining: np.ndarray) -> int:
-        """LB2: best pair-wise Johnson-with-lags relaxation."""
+        """LB2: best pair-wise Johnson-with-lags relaxation.
+
+        All pairs are swept in one NumPy evaluation: the F2-with-lags
+        replay from offsets ``(front[j], front[k])`` unrolls exactly to
+
+            C2 = max(front[k] + sum(b),
+                     front[j] + max_t (A_t + lag_t + Bsuf_t))
+
+        (prefix sums ``A_t`` of ``a``, suffix sums ``Bsuf_t`` of ``b``
+        over the induced Johnson suborder) — the same identity the
+        batched child kernel builds on, so the per-pair Python replay
+        loop is gone while every value stays bit-identical int64.
+        """
         if remaining.size == 0:
             return int(front[-1])
-        best = 0
-        tails = self.tails
-        # One membership mask shared by all pairs: selecting the
-        # remaining jobs out of each precomputed full order is a linear
-        # pass, with no per-node argsort.
-        mask = np.zeros(self.instance.jobs, dtype=bool)
+        if not self._pair_data:
+            return 0
+        rows = self._pair_rows
+        mask = self._mask_buffer
+        mask[:] = False
         mask[remaining] = True
-        for j, k, a, b, lag, full_order in self._pair_data:
-            # Replay the induced Johnson suborder of the remaining jobs.
-            order = full_order[mask[full_order]]
-            c1 = int(front[j])
-            c2 = int(front[k])
-            for i in order:
-                c1 += int(a[i])
-                earliest = c1 + int(lag[i])
-                if earliest > c2:
-                    c2 = earliest
-                c2 += int(b[i])
-            value = c2 + int(tails[remaining, k].min())
-            if value > best:
-                best = value
-        return best
+        selected = mask[self._order_all]
+        cols = np.nonzero(selected)[1].reshape(-1, remaining.size)
+        seq = self._order_all[rows, cols]  # (P, r) induced suborders
+        a_seq, b_seq, lag_seq = self._abl_all[:, rows, seq]
+        suffix_b = np.cumsum(b_seq[:, ::-1], axis=1)[:, ::-1]
+        v = np.cumsum(a_seq, axis=1)
+        v += lag_seq
+        v += suffix_b
+        crit = v.max(axis=1)
+        crit += front[self._j_idx]
+        base = front[self._k_idx] + suffix_b[:, 0]
+        np.maximum(crit, base, out=crit)
+        crit += self.tails[remaining][:, self._k_idx].min(axis=0)
+        return int(crit.max())
 
     def combined(self, front: np.ndarray, remaining: np.ndarray) -> int:
         """max(LB1, LB2) — the default B&B bound."""
@@ -413,8 +450,209 @@ class BoundData:
         lb2 = self._lb2_children(fronts, remaining, mask, tails_rem)
         return np.maximum(lb1, lb2, out=lb1)
 
+    # ------------------------------------------------------------------
+    # pooled child kernels (PR 7)
+    #
+    # The pooled forms generalise the ``*_children`` kernels with a
+    # leading pool axis: ``fronts`` is the (N, r, M) stack of child
+    # fronts of N same-depth parents (so every parent has exactly r
+    # children) and ``remaining`` the (N, r) matrix of their
+    # unscheduled jobs.  Row [n] of the (N, r) result is entry for
+    # entry what ``*_children`` returns for parent n — all int64
+    # arithmetic, so pooling is bit-identical, only amortised: one
+    # NumPy call bounds N*r children instead of r.
+    # ------------------------------------------------------------------
+    def one_machine_children_pool(
+        self,
+        fronts: np.ndarray,
+        remaining: np.ndarray,
+        p_rem: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Pooled LB1: bounds for the children of N pooled parents."""
+        n_pool, r, _m = fronts.shape
+        if r == 1:
+            return fronts[:, :, -1].astype(np.int64)
+        if p_rem is None:
+            p_rem = self.p[remaining]
+        return self._lb1_children_pool(fronts, p_rem, self.tails[remaining])
 
-@lru_cache(maxsize=32)
+    def _lb1_children_pool(
+        self, fronts: np.ndarray, p_rem: np.ndarray, tails_rem: np.ndarray
+    ) -> np.ndarray:
+        n_pool, r, m = p_rem.shape
+        loads = p_rem.sum(axis=1, keepdims=True) - p_rem
+        min_tails = _min_over_rows_excluding_self_pool(tails_rem)
+        avail = np.empty((n_pool, r, m), dtype=np.int64)
+        avail[:, :, 0] = fronts[:, :, 0]
+        if m > 1:
+            # Same sentinel-diagonal recurrence as _lb1_children, one
+            # pool axis to the left: completion[n, c, i] tracks job i's
+            # earliest completion appended to child (n, c)'s front,
+            # with each child's own column parked at +"inf".
+            ar = np.arange(r)
+            completion = fronts[:, :, 0:1] + p_rem[:, :, 0][:, None, :]
+            completion[:, ar, ar] = _INT_MAX
+            minimum_reduce = np.minimum.reduce
+            maximum = np.maximum
+            for j in range(1, m):
+                col = avail[:, :, j]
+                minimum_reduce(completion, axis=2, out=col)
+                maximum(col, fronts[:, :, j], out=col)
+                if j < m - 1:
+                    maximum(completion, fronts[:, :, j : j + 1], out=completion)
+                    completion += p_rem[:, :, j][:, None, :]
+        avail += loads
+        avail += min_tails
+        return avail.max(axis=2)
+
+    def two_machine_children_pool(
+        self, fronts: np.ndarray, remaining: np.ndarray
+    ) -> np.ndarray:
+        """Pooled LB2: prefix/suffix Johnson replay over the pool."""
+        n_pool, r, _m = fronts.shape
+        if r == 1:
+            return fronts[:, :, -1].astype(np.int64)
+        if not self._pair_data:
+            return np.zeros((n_pool, r), dtype=np.int64)
+        return self._lb2_children_pool(
+            fronts, remaining, self.tails[remaining]
+        )
+
+    def _lb2_children_pool(
+        self,
+        fronts: np.ndarray,
+        remaining: np.ndarray,
+        tails_rem: np.ndarray,
+    ) -> np.ndarray:
+        n_pool, r, _m = fronts.shape
+        npairs = len(self._pair_data)
+        rows = self._pair_rows  # (P, 1)
+        jobs = self.instance.jobs
+        mask = np.zeros((n_pool, jobs), dtype=bool)
+        mask[np.arange(n_pool)[:, None], remaining] = True
+        # Induced Johnson suborders: one nonzero pass over the
+        # (N, P, n) selection keeps exactly r positions per (n, p) row,
+        # in C order, so the reshape groups them correctly.
+        selected = mask[:, self._order_all]
+        cols = np.nonzero(selected)[2].reshape(n_pool, npairs, r)
+        seq = self._order_all[rows, cols]  # (N, P, r) job ids
+        a_seq, b_seq, lag_seq = self._abl_all[:, rows, seq]
+        prefix_a = np.cumsum(a_seq, axis=2)
+        suffix_b = np.cumsum(b_seq[:, :, ::-1], axis=2)[:, :, ::-1]
+        v = prefix_a
+        v += lag_seq
+        v += suffix_b
+        pmax = np.empty((n_pool, npairs, r + 1), dtype=np.int64)
+        pmax[:, :, 0] = _INT_MIN
+        np.maximum.accumulate(v, axis=2, out=pmax[:, :, 1:])
+        smax = np.empty((n_pool, npairs, r + 1), dtype=np.int64)
+        smax[:, :, r] = _INT_MIN
+        np.maximum.accumulate(v[:, :, ::-1], axis=2, out=smax[:, :, r - 1 :: -1])
+        # All scatter/gather below is direct broadcast fancy indexing
+        # (the 2-D kernel's idiom) — ``take_along_axis`` machinery costs
+        # real Python time per call at pool-sized arrays.
+        pool3 = np.arange(n_pool)[:, None, None]
+        pair3 = np.arange(npairs)[None, :, None]
+        pos = np.empty((n_pool, npairs, jobs), dtype=np.intp)
+        pos[pool3, pair3, seq] = np.arange(r)
+        q = pos[pool3, pair3, remaining[:, None, :]]  # (N, P, r)
+        a_q, b_q = self._ab_all[:, rows, remaining[:, None, :]]
+        left = pmax[pool3, pair3, q]
+        left -= b_q
+        right = smax[pool3, pair3, q + 1]
+        right -= a_q
+        np.maximum(left, right, out=left)
+        fr = np.swapaxes(fronts[:, :, self._jk_idx], 1, 2)  # (N, 2P, r)
+        left += fr[:, :npairs]
+        c2 = suffix_b[:, :, 0:1] - b_q
+        c2 += fr[:, npairs:]
+        np.maximum(c2, left, out=c2)
+        # Leave-one-out tail minimum on machine k per (pool, pair).
+        pool2 = pool3[:, :, 0]
+        pair2 = pair3[:, :, 0]
+        tails_k = np.swapaxes(tails_rem[:, :, self._k_idx], 1, 2).copy()
+        am = tails_k.argmin(axis=2)  # (N, P)
+        min1 = tails_k[pool2, pair2, am]
+        tails_k[pool2, pair2, am] = _INT_MAX
+        min2 = tails_k.min(axis=2)
+        min_tail = np.empty((n_pool, npairs, r), dtype=np.int64)
+        min_tail[:] = min1[:, :, None]
+        min_tail[pool2, pair2, am] = min2
+        c2 += min_tail
+        return c2.max(axis=1)
+
+    def combined_children_pool(
+        self,
+        fronts: np.ndarray,
+        remaining: np.ndarray,
+        p_rem: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Pooled max(LB1, LB2), same short-circuits as the per-family
+        :meth:`combined_children` (the pool is depth-homogeneous, so
+        the r-dependent short-circuit applies to every parent alike)."""
+        n_pool, r, _m = fronts.shape
+        if r == 1:
+            return fronts[:, :, -1].astype(np.int64)
+        if p_rem is None:
+            p_rem = self.p[remaining]
+        tails_rem = self.tails[remaining]
+        lb1 = self._lb1_children_pool(fronts, p_rem, tails_rem)
+        if r - 1 <= 1 or not self._pair_data:
+            return lb1
+        lb2 = self._lb2_children_pool(fronts, remaining, tails_rem)
+        return np.maximum(lb1, lb2, out=lb1)
+
+
+class BoundDataCache:
+    """Explicit bounded LRU of :class:`BoundData` per (instance, strategy).
+
+    Replaces the module-level ``functools.lru_cache`` that used to back
+    :func:`bound_data_for`: a long-lived grid worker solves many
+    intervals over many instances, and every cached entry pins the
+    tails matrix plus the per-pair Johnson precomputation (O(pairs x
+    jobs) arrays — substantial under ``pair_strategy="all"``).  An
+    explicit cache keeps the bound small, inspectable and clearable
+    (:meth:`clear` / :func:`clear_bound_data_cache`), so worker
+    processes can drop bound-prep arrays between solves instead of
+    leaking them for the process lifetime.
+
+    ``FlowShopInstance`` hashes by matrix content — exactly the key the
+    precomputation depends on — so equal instances share one entry.
+    """
+
+    def __init__(self, maxsize: int = 8):
+        if maxsize < 1:
+            raise ProblemError("BoundDataCache maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[Tuple[FlowShopInstance, str], BoundData]" = (
+            OrderedDict()
+        )
+
+    def get(
+        self, instance: FlowShopInstance, pair_strategy: str = "adjacent+ends"
+    ) -> BoundData:
+        """The cached :class:`BoundData`, building and evicting LRU-style."""
+        key = (instance, pair_strategy)
+        data = self._entries.get(key)
+        if data is not None:
+            self._entries.move_to_end(key)
+            return data
+        data = BoundData(instance, pair_strategy)
+        self._entries[key] = data
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return data
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+_SHARED_BOUND_DATA = BoundDataCache()
+
+
 def bound_data_for(
     instance: FlowShopInstance, pair_strategy: str = "adjacent+ends"
 ) -> BoundData:
@@ -424,10 +662,17 @@ def bound_data_for(
     pair) is pure in the instance, so repeated callers — notably the
     :func:`one_machine_bound` / :func:`two_machine_bound` convenience
     wrappers — reuse one cached copy instead of rebuilding it per call.
-    ``FlowShopInstance`` hashes by matrix content, which is exactly the
-    key the precomputation depends on.
+    Backed by a small explicit :class:`BoundDataCache` (not an
+    unbounded-per-process ``lru_cache``); call
+    :func:`clear_bound_data_cache` to release the arrays, e.g. between
+    solves in a long-lived grid worker.
     """
-    return BoundData(instance, pair_strategy)
+    return _SHARED_BOUND_DATA.get(instance, pair_strategy)
+
+
+def clear_bound_data_cache() -> None:
+    """Drop every cached :class:`BoundData` (frees bound-prep arrays)."""
+    _SHARED_BOUND_DATA.clear()
 
 
 def one_machine_bound(

@@ -1,0 +1,227 @@
+"""Loop-level LB1 / LB2 pool kernels for the numba backend.
+
+The numpy pool kernels (:mod:`repro.problems.flowshop.bounds`) pay a
+few dozen array ops per pool call; a JIT turns the same arithmetic
+into two fused loop nests with zero temporaries — the shape the GPU
+flow-shop B&B line runs per thread.  The kernels here are written as
+*plain Python* loop functions over int64 ndarrays:
+
+* they are import-safe and testable everywhere (the property suite
+  exercises them against the scalar oracle even when numba is absent,
+  so a broken loop cannot hide behind a missing dependency);
+* :func:`jit_kernels` wraps them with ``numba.njit`` on first use —
+  the only place numba is touched, lazily, inside a function (rule
+  RC09).  When numba is missing it raises ``RuntimeError`` and the
+  numba backend degrades to numpy with a one-time warning.
+
+Bit-identity: every statement is int64 add/max/min — associative and
+exact — and tie-breaking (first argmin) matches the numpy kernels, so
+the loop results equal the vectorised and scalar bounds bit for bit.
+"""
+
+from __future__ import annotations
+
+from typing import Any, NamedTuple, Optional
+
+import numpy as np
+
+__all__ = ["jit_kernels", "lb1_pool", "lb2_pool"]
+
+# Same +/- "infinity" sentinels as bounds.py: far above any schedule
+# length, far enough from int64 limits that one more add cannot wrap.
+INT_MAX = 2**62
+INT_MIN = -(2**62)
+
+
+def lb1_pool(
+    fronts: np.ndarray,
+    p_rem: np.ndarray,
+    tails_rem: np.ndarray,
+    out: np.ndarray,
+) -> np.ndarray:
+    """One-machine bound of every child of every pooled parent.
+
+    ``fronts`` (N, r, M) child completion fronts, ``p_rem`` /
+    ``tails_rem`` (N, r, M) processing-time and tail rows of each
+    parent's remaining jobs; ``out`` (N, r) receives the bounds.
+    Child c of parent n removes row c from its remaining set: rows
+    evolve independently through the head recurrence, so excluding
+    ``i == c`` at the min/sum/load reductions equals excluding it from
+    the start.
+    """
+    n_pool, r, m = p_rem.shape
+    if r == 1:
+        for n in range(n_pool):
+            out[n, 0] = fronts[n, 0, m - 1]
+        return out
+    comp = np.empty(r, np.int64)
+    for n in range(n_pool):
+        for c in range(r):
+            best = INT_MIN
+            fc0 = fronts[n, c, 0]
+            load = 0
+            mtail = INT_MAX
+            for i in range(r):
+                comp[i] = fc0 + p_rem[n, i, 0]
+                if i != c:
+                    load += p_rem[n, i, 0]
+                    t = tails_rem[n, i, 0]
+                    if t < mtail:
+                        mtail = t
+            val = fc0 + load + mtail
+            if val > best:
+                best = val
+            for j in range(1, m):
+                cmin = INT_MAX
+                for i in range(r):
+                    if i != c and comp[i] < cmin:
+                        cmin = comp[i]
+                fj = fronts[n, c, j]
+                avail = fj if fj > cmin else cmin
+                load = 0
+                mtail = INT_MAX
+                for i in range(r):
+                    if i != c:
+                        load += p_rem[n, i, j]
+                        t = tails_rem[n, i, j]
+                        if t < mtail:
+                            mtail = t
+                val = avail + load + mtail
+                if val > best:
+                    best = val
+                if j < m - 1:
+                    for i in range(r):
+                        ci = comp[i]
+                        if ci < fj:
+                            ci = fj
+                        comp[i] = ci + p_rem[n, i, j]
+            out[n, c] = best
+    return out
+
+
+def lb2_pool(
+    fronts: np.ndarray,
+    remaining: np.ndarray,
+    order_all: np.ndarray,
+    a_all: np.ndarray,
+    b_all: np.ndarray,
+    lag_all: np.ndarray,
+    j_idx: np.ndarray,
+    k_idx: np.ndarray,
+    tails_rem: np.ndarray,
+    out: np.ndarray,
+) -> np.ndarray:
+    """Two-machine (Johnson-with-lags) bound over the pool.
+
+    Per (parent, pair): replay the induced Johnson suborder once,
+    build prefix/suffix maxima of the F2 critical terms
+    ``V_t = A_t + lag_t + Bsuf_t``, then each child's "replay minus
+    its own job" is the O(1) left/right combination — the loop-nest
+    twin of ``BoundData._lb2_children_pool``.  Requires ``r >= 2`` and
+    at least one pair (the evaluator guards both).
+    """
+    n_pool, r, _m = fronts.shape
+    npairs, n_jobs = order_all.shape
+    seq = np.empty(r, np.int64)
+    v = np.empty(r, np.int64)
+    pmax = np.empty(r + 1, np.int64)
+    smax = np.empty(r + 1, np.int64)
+    qpos = np.empty(n_jobs, np.int64)
+    mask = np.zeros(n_jobs, np.bool_)
+    for n in range(n_pool):
+        for c in range(r):
+            out[n, c] = INT_MIN
+        for t in range(r):
+            mask[remaining[n, t]] = True
+        for p in range(npairs):
+            j = j_idx[p]
+            k = k_idx[p]
+            cnt = 0
+            for t in range(n_jobs):
+                job = order_all[p, t]
+                if mask[job]:
+                    seq[cnt] = job
+                    cnt += 1
+            acc = 0
+            for t in range(r):
+                acc += a_all[p, seq[t]]
+                v[t] = acc  # prefix_a so far
+            accb = 0
+            for t in range(r - 1, -1, -1):
+                job = seq[t]
+                accb += b_all[p, job]
+                v[t] += lag_all[p, job] + accb
+                qpos[job] = t
+            sum_b = accb
+            pm = INT_MIN
+            for t in range(r):
+                pmax[t] = pm  # max of v[0 .. t-1]
+                if v[t] > pm:
+                    pm = v[t]
+            sm = INT_MIN
+            for t in range(r - 1, -1, -1):
+                smax[t + 1] = sm  # max of v[t+1 .. r-1]
+                if v[t] > sm:
+                    sm = v[t]
+            am = 0
+            min1 = INT_MAX
+            for i in range(r):
+                ti = tails_rem[n, i, k]
+                if ti < min1:
+                    min1 = ti
+                    am = i
+            min2 = INT_MAX
+            for i in range(r):
+                if i != am:
+                    ti = tails_rem[n, i, k]
+                    if ti < min2:
+                        min2 = ti
+            for c in range(r):
+                job = remaining[n, c]
+                q = qpos[job]
+                aq = a_all[p, job]
+                bq = b_all[p, job]
+                left = pmax[q] - bq
+                right = smax[q + 1] - aq
+                crit = left if left > right else right
+                crit += fronts[n, c, j]
+                c2 = sum_b - bq + fronts[n, c, k]
+                if crit > c2:
+                    c2 = crit
+                c2 += min2 if c == am else min1
+                if c2 > out[n, c]:
+                    out[n, c] = c2
+        for t in range(r):
+            mask[remaining[n, t]] = False
+    return out
+
+
+class PoolKernels(NamedTuple):
+    """The (possibly JIT-compiled) kernel pair the evaluator calls."""
+
+    lb1: Any
+    lb2: Any
+
+
+_JITTED: Optional[PoolKernels] = None
+
+
+def jit_kernels() -> PoolKernels:
+    """The ``numba.njit``-compiled kernels, compiled once per process.
+
+    Raises ``RuntimeError`` when numba is not importable — the numba
+    backend catches this and falls back to the numpy pool kernels.
+    """
+    global _JITTED
+    if _JITTED is None:
+        try:
+            from numba import njit  # lazy: numba is an optional accelerator
+        except ImportError as exc:
+            raise RuntimeError(
+                "numba is not installed; the numba kernel backend is unavailable"
+            ) from exc
+        _JITTED = PoolKernels(
+            lb1=njit(cache=False)(lb1_pool),
+            lb2=njit(cache=False)(lb2_pool),
+        )
+    return _JITTED

@@ -26,6 +26,7 @@ __all__ = [
     "completion_front",
     "advance_front",
     "advance_fronts_batch",
+    "advance_fronts_pool",
     "makespan",
     "partial_makespan",
     "tails_matrix",
@@ -73,6 +74,26 @@ def advance_fronts_batch(front: np.ndarray, job_times: np.ndarray) -> np.ndarray
     for j in range(1, m):
         np.maximum(out[:, j - 1], front[j], out=out[:, j])
         out[:, j] += times[:, j]
+    return out
+
+
+def advance_fronts_pool(fronts: np.ndarray, job_times: np.ndarray) -> np.ndarray:
+    """Child completion fronts for a whole pool of parents at once.
+
+    The pool-kernel form of :func:`advance_fronts_batch`: ``fronts`` is
+    the ``(N, M)`` stack of N parent fronts and ``job_times`` the
+    ``(N, r, M)`` processing-time rows of each parent's r candidate
+    jobs; slice ``[n]`` of the result equals
+    ``advance_fronts_batch(fronts[n], job_times[n])`` exactly (same
+    int64 recurrence, still sequential in machines, vectorised over
+    pool x batch).
+    """
+    n_pool, batch, m = job_times.shape
+    out = np.empty((n_pool, batch, m), dtype=np.int64)
+    np.add(fronts[:, 0:1], job_times[:, :, 0], out=out[:, :, 0])
+    for j in range(1, m):
+        np.maximum(out[:, :, j - 1], fronts[:, j : j + 1], out=out[:, :, j])
+        out[:, :, j] += job_times[:, :, j]
     return out
 
 

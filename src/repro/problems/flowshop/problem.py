@@ -95,6 +95,15 @@ class FlowShopProblem(Problem):
         self._fronts_cache: Optional[
             Tuple[FlowShopState, np.ndarray, np.ndarray]
         ] = None
+        # Pool-kernel handoff: the pool evaluator computes the child
+        # fronts of many parents in one call, long before the engine
+        # pops and branches each parent.  Rows are parked here (keyed
+        # by state identity, holding a strong reference so the id
+        # cannot be recycled) and consumed by the first _child_fronts
+        # call; FIFO eviction bounds entries left behind by parents
+        # that were pruned before branching.
+        self._pool_fronts: "dict[int, Tuple[FlowShopState, np.ndarray, np.ndarray]]" = {}
+        self._pool_fronts_cap = 1024
         # Per-child-count index matrices for branch(): row c selects
         # the remaining vector minus entry c, so the r child remaining
         # sets come from one fancy gather (allocating an r x r boolean
@@ -126,10 +135,32 @@ class FlowShopProblem(Problem):
         cached = self._fronts_cache
         if cached is not None and cached[0] is state:
             return cached[1], cached[2]
+        pooled = self._pool_fronts.pop(id(state), None)
+        if pooled is not None and pooled[0] is state:
+            self._fronts_cache = pooled
+            return pooled[1], pooled[2]
         p_rem = self.instance.processing_times[state.remaining]
         fronts = advance_fronts_batch(state.front, p_rem)
         self._fronts_cache = (state, fronts, p_rem)
         return fronts, p_rem
+
+    def store_child_fronts(
+        self,
+        states: Sequence[FlowShopState],
+        fronts: np.ndarray,
+        p_rem: np.ndarray,
+    ) -> None:
+        """Park pool-computed child fronts for later :meth:`branch` reuse.
+
+        ``fronts`` / ``p_rem`` are the (N, r, M) pool arrays; row ``n``
+        belongs to ``states[n]``.  Called by the pool evaluators so the
+        fronts computed for bounding are not recomputed at branch time.
+        """
+        cache = self._pool_fronts
+        for n, state in enumerate(states):
+            cache[id(state)] = (state, fronts[n], p_rem[n])
+        while len(cache) > self._pool_fronts_cap:
+            cache.pop(next(iter(cache)))
 
     def branch(self, state: FlowShopState, depth: int) -> List[FlowShopState]:
         remaining = state.remaining

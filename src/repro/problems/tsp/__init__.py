@@ -11,12 +11,15 @@ from repro.problems.tsp.bounds import (
     one_tree_bound_networkx,
     outgoing_edge_bound,
     outgoing_edge_bound_children,
+    outgoing_edge_bound_children_pool,
 )
 from repro.problems.tsp.instance import TSPInstance, random_tsp
+from repro.problems.tsp.pool import TSPNumpyPool
 from repro.problems.tsp.problem import TSPProblem, nearest_neighbour_tour
 
 __all__ = [
     "TSPInstance",
+    "TSPNumpyPool",
     "TSPProblem",
     "best_one_tree_bound",
     "nearest_neighbour_tour",
@@ -24,5 +27,6 @@ __all__ = [
     "one_tree_bound_networkx",
     "outgoing_edge_bound",
     "outgoing_edge_bound_children",
+    "outgoing_edge_bound_children_pool",
     "random_tsp",
 ]

@@ -33,6 +33,7 @@ from repro.problems.tsp.instance import TSPInstance
 __all__ = [
     "outgoing_edge_bound",
     "outgoing_edge_bound_children",
+    "outgoing_edge_bound_children_pool",
     "one_tree_bound",
     "one_tree_bound_networkx",
 ]
@@ -124,6 +125,53 @@ def outgoing_edge_bound_children(
     )[:r]
     first_hop = d[path[-1], remaining].astype(np.float64)
     bounds = path_cost + first_hop + total + correction
+    return bounds.astype(np.int64)
+
+
+def outgoing_edge_bound_children_pool(
+    instance: TSPInstance,
+    lasts: Sequence[int],
+    costs: Sequence[int],
+    homes: Sequence[int],
+    remaining: np.ndarray,
+) -> np.ndarray:
+    """Pooled :func:`outgoing_edge_bound_children` over N partial tours.
+
+    Row ``n`` describes one parent: current city ``lasts[n]``, open
+    path cost ``costs[n]``, tour start ``homes[n]`` and the (N, r)
+    matrix row ``remaining[n]`` of its unvisited cities (all parents
+    share one depth, hence one r; ``r >= 2`` as the engine never pools
+    leaf children).  Row ``n`` of the result equals the per-family
+    kernel's output exactly: the arithmetic is float64 sums of integer
+    distances below 2**53, which are order-independent-exact, and both
+    forms pick the first argmin.
+    """
+    d = instance.distances
+    remaining = np.asarray(remaining, dtype=np.intp)
+    n_pool, r = remaining.shape
+    if r < 2:
+        raise ProblemError(
+            "outgoing_edge_bound_children_pool needs >= 2 remaining cities; "
+            "bound leaf children with leaf_cost instead"
+        )
+    lasts_arr = np.asarray(lasts, dtype=np.intp)
+    costs_arr = np.asarray(costs, dtype=np.float64)
+    homes_arr = np.asarray(homes, dtype=np.intp)
+    targets = np.concatenate([remaining, homes_arr[:, None]], axis=1)
+    block = d[remaining[:, :, None], targets[:, None, :]].astype(np.float64)
+    ar = np.arange(r)
+    block[:, ar, ar] = np.inf
+    argmin1 = block.argmin(axis=2)  # (N, r)
+    min1 = np.take_along_axis(block, argmin1[:, :, None], axis=2)[:, :, 0]
+    np.put_along_axis(block, argmin1[:, :, None], np.inf, axis=2)
+    min2 = block.min(axis=2)
+    total = min1.sum(axis=1)  # (N,)
+    # Scatter-add replaces the per-family bincount: same values into
+    # the same argmin slots, per pool row.
+    correction = np.zeros((n_pool, r + 1), dtype=np.float64)
+    np.add.at(correction, (np.arange(n_pool)[:, None], argmin1), min2 - min1)
+    first_hop = d[lasts_arr[:, None], remaining].astype(np.float64)
+    bounds = costs_arr[:, None] + first_hop + total[:, None] + correction[:, :r]
     return bounds.astype(np.int64)
 
 

@@ -1,0 +1,61 @@
+"""TSP pool evaluator, registered with the kernel registry.
+
+One evaluator call bounds the children of a whole pool of same-depth
+partial tours via :func:`outgoing_edge_bound_children_pool` — the
+(N, r, r+1) leave-one-out scan replacing N separate (r, r+1) scans.
+Registered for the ``numpy`` backend at import time (the package
+``__init__`` imports this module), which also makes pooling the
+default for ``solve(TSPProblem(...))``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from repro.core.kernels import register_pool_factory
+from repro.problems.tsp.bounds import (
+    outgoing_edge_bound_children,
+    outgoing_edge_bound_children_pool,
+)
+from repro.problems.tsp.problem import TSPProblem
+
+__all__ = ["TSPNumpyPool", "register_pool_kernels"]
+
+
+class TSPNumpyPool:
+    """Pooled outgoing-edge child bounds for :class:`TSPProblem`."""
+
+    def __init__(self, problem: TSPProblem):
+        self._instance = problem.instance
+
+    def __call__(
+        self, states: Sequence[Any], depth: int
+    ) -> Optional[np.ndarray]:
+        if len(states) == 1:
+            # Singleton pools use the 2-D per-family scan directly.
+            state = states[0]
+            row = outgoing_edge_bound_children(
+                self._instance, state.path, state.cost, state.remaining
+            )
+            return row[np.newaxis]
+        lasts = [state.path[-1] for state in states]
+        costs = [state.cost for state in states]
+        homes = [state.path[0] for state in states]
+        remaining = np.array([state.remaining for state in states], dtype=np.intp)
+        return outgoing_edge_bound_children_pool(
+            self._instance, lasts, costs, homes, remaining
+        )
+
+
+def _numpy_factory(problem: TSPProblem) -> TSPNumpyPool:
+    return TSPNumpyPool(problem)
+
+
+def register_pool_kernels() -> None:
+    """Idempotently register the TSP pool factory."""
+    register_pool_factory("numpy", TSPProblem, _numpy_factory)
+
+
+register_pool_kernels()

@@ -2,9 +2,11 @@
 
 Runs ``benchmarks/bench_engine_throughput.py`` at its ``--quick``
 scale on every test run: the point is not the timings but the
-benchmark's built-in verification — both exploration paths must find
-the same optimum with byte-identical node accounting — so the batched
-fast path cannot silently rot.
+benchmark's built-in verification — the scalar, batched and every
+pooled-backend exploration must find the same optimum with
+byte-identical node accounting, and the kernel-pool microbench must
+reproduce the per-family bounds bit for bit — so neither fast path
+can silently rot.
 """
 
 import sys
@@ -14,7 +16,10 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 if str(REPO_ROOT) not in sys.path:
     sys.path.insert(0, str(REPO_ROOT))
 
-from benchmarks.bench_engine_throughput import run_benchmark  # noqa: E402
+from benchmarks.bench_engine_throughput import (  # noqa: E402
+    OPTIONAL_BACKENDS,
+    run_benchmark,
+)
 
 
 def test_quick_benchmark_paths_agree():
@@ -25,10 +30,24 @@ def test_quick_benchmark_paths_agree():
         # double-check the recorded invariants anyway.
         assert rec["identical_stats"] is True
         assert rec["nodes_explored"] > 0
-        assert rec["batched"]["nodes_per_sec"] > 0
         assert rec["scalar"]["nodes_per_sec"] > 0
-    assert report["headline"]["speedup"] == max(
-        rec["speedup"] for rec in report["configs"]
+        assert rec["batched"]["nodes_per_sec"] > 0
+        # The numpy pool backend always runs; optional backends either
+        # ran identically or are recorded as unavailable with a reason.
+        assert rec["backends"]["numpy"]["identical_stats"] is True
+        assert rec["backends"]["numpy"]["nodes_per_sec"] > 0
+        for name in OPTIONAL_BACKENDS:
+            status = rec["backends"][name]
+            assert status.get("identical_stats") or (
+                status["available"] is False and status["reason"]
+            )
+    assert report["headline"]["pooled_speedup_vs_scalar"] == max(
+        rec["pooled_speedup_vs_scalar"] for rec in report["configs"]
+    )
+    assert report["headline"]["speedup"] == next(
+        rec["speedup"]
+        for rec in report["configs"]
+        if rec["name"] == report["headline"]["config"]
     )
 
 
@@ -39,3 +58,15 @@ def test_quick_benchmark_covers_both_tree_kinds():
     # engine entry modes stay exercised.
     assert None in denominators
     assert any(d is not None for d in denominators)
+
+
+def test_quick_benchmark_kernel_pools_bit_identical():
+    report = run_benchmark(quick=True, repeats=1)
+    pools = report["kernel_pools"]
+    assert pools, "kernel-pool microbench produced no records"
+    sizes = {rec["pool_size"] for rec in pools}
+    assert 1 in sizes and len(sizes) > 1  # singleton + real pools
+    for rec in pools:
+        assert rec["identical_bounds"] is True
+        assert rec["pooled_families_per_sec"] > 0
+        assert rec["per_family_families_per_sec"] > 0

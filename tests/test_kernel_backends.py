@@ -1,0 +1,407 @@
+"""Property suite: pool bound-kernel backends == scalar oracle, bitwise.
+
+PR 7's pool-evaluation engine bounds whole frontier pools per backend
+call.  Its correctness contract is the same as PR 2's, one level up:
+every backend must be *bit-identical* to the per-node scalar path —
+same optimum, same solution, byte-identical ``ExplorationStats`` —
+for every pool size, because the engine's pruning decisions ride on
+the returned bounds verbatim.  These tests quantify that contract
+over random instances and exercise the registry and the
+optional-dependency fallbacks, with and without numba installed.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import solve
+from repro.core.kernels import (
+    KERNEL_BACKEND_CHOICES,
+    available_backends,
+    backend_names,
+    get_backend,
+    pool_evaluator_for,
+    pool_factory_for,
+    register_pool_factory,
+)
+from repro.core.kernels.cupy_backend import CupyKernel
+from repro.core.kernels.numba_backend import NumbaKernel
+from repro.exceptions import EngineError
+from repro.problems.flowshop import (
+    BoundData,
+    FlowShopProblem,
+    kernels_numba,
+    random_instance,
+)
+from repro.problems.flowshop.makespan import advance_front, advance_fronts_pool
+from repro.problems.flowshop.pool import FlowShopNumbaPool, FlowShopNumpyPool
+from repro.problems.tsp import TSPProblem, random_tsp
+from repro.problems.tsp.pool import TSPNumpyPool
+
+NUMBA_AVAILABLE = get_backend("numba").available()
+
+# Backends whose end-to-end solve must equal the oracle on this
+# machine.  "numpy" always; "numba" joins on the CI leg that installs
+# it (elsewhere its *fallback* is tested instead, below).
+EXACT_BACKENDS = ("numpy", "numba") if NUMBA_AVAILABLE else ("numpy",)
+
+PAIR_STRATEGIES = ("adjacent", "adjacent+ends", "all")
+BOUNDS = ("lb1", "lb2", "combined")
+
+
+def _assert_same_resolution(reference, candidate):
+    assert candidate.cost == reference.cost
+    assert candidate.solution == reference.solution
+    assert vars(candidate.stats) == vars(reference.stats)
+
+
+# ----------------------------------------------------------------------
+# End-to-end: solve() under every backend == the scalar per-node oracle.
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def flowshop_solve_case(draw):
+    jobs = draw(st.integers(4, 7))
+    machines = draw(st.integers(1, 4))
+    seed = draw(st.integers(0, 10_000))
+    bound = draw(st.sampled_from(BOUNDS))
+    strategy = draw(st.sampled_from(PAIR_STRATEGIES))
+    pool_size = draw(st.sampled_from((1, 2, 5, 64)))
+    return jobs, machines, seed, bound, strategy, pool_size
+
+
+class TestBackendsMatchScalarOracle:
+    @given(flowshop_solve_case())
+    @settings(max_examples=20, deadline=None)
+    def test_flowshop(self, case):
+        jobs, machines, seed, bound, strategy, pool_size = case
+        instance = random_instance(jobs, machines, seed=seed)
+
+        def make():
+            # Fresh problem per solve: the handoff caches must never be
+            # the thing making two runs agree.
+            return FlowShopProblem(instance, bound=bound, pair_strategy=strategy)
+
+        oracle = solve(make(), batched_bounds=False)
+        for backend in EXACT_BACKENDS:
+            pooled = solve(
+                make(), kernel_backend=backend, pool_size=pool_size
+            )
+            _assert_same_resolution(oracle, pooled)
+
+    @given(
+        st.integers(4, 7),
+        st.integers(0, 10_000),
+        st.sampled_from((1, 3, 64)),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_tsp(self, cities, seed, pool_size):
+        instance = random_tsp(cities, seed=seed)
+        oracle = solve(TSPProblem(instance), batched_bounds=False)
+        pooled = solve(
+            TSPProblem(instance),
+            kernel_backend="numpy",
+            pool_size=pool_size,
+        )
+        _assert_same_resolution(oracle, pooled)
+
+    def test_off_equals_auto(self):
+        """``kernel_backend="off"`` is the PR 2 batched path, same stats."""
+        instance = random_instance(7, 4, seed=3)
+        auto = solve(FlowShopProblem(instance))
+        off = solve(FlowShopProblem(instance), kernel_backend="off")
+        _assert_same_resolution(auto, off)
+
+
+# ----------------------------------------------------------------------
+# Pool boundaries: size 1, an exact multiple of the frontier, a ragged
+# tail — at the engine (pool_size sweep) and at the evaluator (pool
+# width sweep, including the singleton fast path).
+# ----------------------------------------------------------------------
+
+
+def _pool_parents(instance, depth, count):
+    """``count`` distinct same-depth (front, remaining) parents."""
+    import itertools
+
+    fronts, remainings = [], []
+    for prefix in itertools.permutations(range(instance.jobs), depth):
+        front = np.zeros(instance.machines, dtype=np.int64)
+        for job in prefix:
+            advance_front(front, instance.processing_times[job], out=front)
+        fronts.append(front)
+        remainings.append(
+            np.array(
+                sorted(set(range(instance.jobs)) - set(prefix)),
+                dtype=np.intp,
+            )
+        )
+        if len(fronts) == count:
+            break
+    assert len(fronts) == count
+    return np.stack(fronts), np.stack(remainings)
+
+
+class _FrontState:
+    """Just enough state surface for the flowshop pool evaluators."""
+
+    def __init__(self, front, remaining):
+        self.front = front
+        self.remaining = remaining
+
+
+class TestPoolBoundaries:
+    @pytest.mark.parametrize("pool_size", (1, 2, 3, 5, 64))
+    def test_engine_pool_size_sweep(self, pool_size):
+        # The measured frontier of this instance is a handful of
+        # entries wide: 1 forces singleton pools, 2/3 split it into an
+        # exact multiple or a ragged tail, 64 swallows it whole.
+        instance = random_instance(7, 4, seed=11)
+        oracle = solve(FlowShopProblem(instance), batched_bounds=False)
+        pooled = solve(
+            FlowShopProblem(instance),
+            kernel_backend="numpy",
+            pool_size=pool_size,
+        )
+        _assert_same_resolution(oracle, pooled)
+
+    @pytest.mark.parametrize("n_pool", (1, 4, 7))
+    @pytest.mark.parametrize("bound", BOUNDS)
+    def test_flowshop_evaluator_widths(self, n_pool, bound):
+        instance = random_instance(7, 3, seed=5)
+        problem = FlowShopProblem(instance, bound=bound)
+        parent_fronts, remainings = _pool_parents(instance, 2, n_pool)
+        states = [
+            _FrontState(parent_fronts[i], remainings[i])
+            for i in range(n_pool)
+        ]
+        rows = FlowShopNumpyPool(problem)(states, depth=2)
+        assert rows is not None and len(rows) == n_pool
+        data = problem.bound_data
+        for i, state in enumerate(states):
+            p_rem = instance.processing_times[state.remaining]
+            fronts = advance_fronts_pool(
+                state.front[np.newaxis], p_rem[np.newaxis]
+            )[0]
+            expected = {
+                "lb1": data.one_machine_children,
+                "lb2": data.two_machine_children,
+                "combined": data.combined_children,
+            }[bound](fronts, state.remaining)
+            np.testing.assert_array_equal(np.asarray(rows[i]), expected)
+
+    @pytest.mark.parametrize("n_pool", (1, 3, 6))
+    def test_tsp_evaluator_widths(self, n_pool):
+        from repro.problems.tsp.bounds import outgoing_edge_bound_children
+
+        instance = random_tsp(7, seed=9)
+        problem = TSPProblem(instance)
+        cities = instance.cities
+        states = []
+        for first in range(1, n_pool + 1):
+            path = (0, first)
+            remaining = tuple(
+                c for c in range(1, cities) if c != first
+            )
+            cost = int(instance.distances[0, first])
+            states.append(
+                type(
+                    "S",
+                    (),
+                    {"path": path, "cost": cost, "remaining": remaining},
+                )()
+            )
+        rows = TSPNumpyPool(problem)(states, depth=1)
+        assert rows is not None and len(rows) == n_pool
+        for i, state in enumerate(states):
+            expected = outgoing_edge_bound_children(
+                instance, state.path, state.cost, state.remaining
+            )
+            np.testing.assert_array_equal(np.asarray(rows[i]), expected)
+
+
+# ----------------------------------------------------------------------
+# The plain-Python loop kernels (numba's source of truth) against the
+# vectorised numpy pool kernels — runs even where numba is absent, so
+# a broken loop cannot hide behind a missing dependency.
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def loop_kernel_case(draw):
+    jobs = draw(st.integers(4, 7))
+    machines = draw(st.integers(2, 4))
+    seed = draw(st.integers(0, 10_000))
+    strategy = draw(st.sampled_from(PAIR_STRATEGIES))
+    depth = draw(st.integers(1, jobs - 2))
+    n_pool = draw(st.integers(1, 5))
+    return jobs, machines, seed, strategy, depth, n_pool
+
+
+class TestLoopKernelsMatchNumpy:
+    @given(loop_kernel_case())
+    @settings(max_examples=40, deadline=None)
+    def test_lb1_and_lb2_pools(self, case):
+        jobs, machines, seed, strategy, depth, n_pool = case
+        import math
+
+        instance = random_instance(jobs, machines, seed=seed)
+        data = BoundData(instance, pair_strategy=strategy)
+        n_pool = min(n_pool, math.perm(jobs, depth))
+        parent_fronts, remaining = _pool_parents(instance, depth, n_pool)
+        p_rem = instance.processing_times[remaining]
+        fronts = advance_fronts_pool(parent_fronts, p_rem)
+        r = remaining.shape[1]
+        tails_rem = data.tails[remaining]
+
+        out1 = np.empty((n_pool, r), dtype=np.int64)
+        kernels_numba.lb1_pool(fronts, p_rem, tails_rem, out1)
+        np.testing.assert_array_equal(
+            out1, data.one_machine_children_pool(fronts, remaining, p_rem)
+        )
+
+        if r >= 2 and data.pairs:
+            out2 = np.empty((n_pool, r), dtype=np.int64)
+            kernels_numba.lb2_pool(
+                fronts,
+                remaining,
+                data._order_all,
+                data._a_all,
+                data._b_all,
+                data._lag_all,
+                data._j_idx,
+                data._k_idx,
+                tails_rem,
+                out2,
+            )
+            np.testing.assert_array_equal(
+                out2, data.two_machine_children_pool(fronts, remaining)
+            )
+
+    @pytest.mark.skipif(not NUMBA_AVAILABLE, reason="numba not installed")
+    @pytest.mark.parametrize("bound", BOUNDS)
+    def test_jitted_pool_equals_numpy_pool(self, bound):
+        instance = random_instance(7, 4, seed=21)
+        problem = FlowShopProblem(instance, bound=bound)
+        parent_fronts, remainings = _pool_parents(instance, 2, 5)
+        states = [
+            _FrontState(parent_fronts[i], remainings[i]) for i in range(5)
+        ]
+        numpy_rows = FlowShopNumpyPool(problem)(states, depth=2)
+        numba_rows = FlowShopNumbaPool(problem)(states, depth=2)
+        np.testing.assert_array_equal(
+            np.asarray(numpy_rows), np.asarray(numba_rows)
+        )
+
+
+# ----------------------------------------------------------------------
+# Registry behaviour.
+# ----------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_unknown_backend_raises(self):
+        with pytest.raises(EngineError, match="unknown kernel backend"):
+            get_backend("jax")
+
+    def test_builtin_names(self):
+        assert backend_names() == ["cupy", "numba", "numpy"]
+        assert set(KERNEL_BACKEND_CHOICES) == set(backend_names())
+
+    def test_numpy_always_available(self):
+        assert "numpy" in available_backends()
+
+    def test_mro_lookup_covers_subclasses(self):
+        class Narrowed(FlowShopProblem):
+            pass
+
+        problem = Narrowed(random_instance(4, 2, seed=0))
+        evaluator = pool_evaluator_for(problem, "numpy")
+        assert isinstance(evaluator, FlowShopNumpyPool)
+
+    def test_unregistered_problem_pools_nothing(self):
+        # No factory, no bound_children override: auto mode must leave
+        # the engine on its exact pre-pool paths, and the numpy backend
+        # must decline rather than invent a per-parent loop.
+        assert pool_factory_for("numpy", object) is None
+        assert pool_evaluator_for(object(), None) is None
+        assert get_backend("numpy").evaluator_for(object()) is None
+
+    def test_engine_rejects_unknown_backend(self):
+        instance = random_instance(4, 2, seed=0)
+        with pytest.raises(EngineError, match="unknown kernel backend"):
+            solve(FlowShopProblem(instance), kernel_backend="jax")
+
+
+# ----------------------------------------------------------------------
+# Optional-dependency fallbacks: selecting numba/cupy must never break
+# a run — one RuntimeWarning per process, then the numpy evaluator.
+# ----------------------------------------------------------------------
+
+
+class TestOptionalBackendFallback:
+    def _problem(self):
+        return FlowShopProblem(random_instance(5, 3, seed=1))
+
+    def test_numba_missing_warns_once_then_numpy(self):
+        backend = NumbaKernel()
+        backend._probed = False  # force the missing-dep path everywhere
+        with pytest.warns(RuntimeWarning, match="numba is not"):
+            evaluator = backend.evaluator_for(self._problem())
+        assert isinstance(evaluator, FlowShopNumpyPool)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # second resolve stays silent
+            backend.evaluator_for(self._problem())
+
+    def test_numba_setup_failure_warns_and_falls_back(self):
+        class Boom(FlowShopProblem):
+            pass
+
+        def exploding_factory(problem):
+            raise RuntimeError("boom")
+
+        register_pool_factory("numba", Boom, exploding_factory)
+        backend = NumbaKernel()
+        backend._probed = True  # pretend the import side is fine
+        with pytest.warns(RuntimeWarning, match="setup failed"):
+            evaluator = backend.evaluator_for(
+                Boom(random_instance(5, 3, seed=1))
+            )
+        # Fallback resolves through the numpy registry entry, which the
+        # subclass inherits via MRO lookup.
+        assert isinstance(evaluator, FlowShopNumpyPool)
+
+    def test_cupy_warns_once_then_numpy(self):
+        # Warns whether cupy is missing or merely has no kernels
+        # registered yet — either way the numpy evaluator does the work.
+        backend = CupyKernel()
+        with pytest.warns(RuntimeWarning):
+            evaluator = backend.evaluator_for(self._problem())
+        assert isinstance(evaluator, FlowShopNumpyPool)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            backend.evaluator_for(self._problem())
+
+    @pytest.mark.skipif(NUMBA_AVAILABLE, reason="numba is installed here")
+    def test_jit_kernels_raises_without_numba(self):
+        with pytest.raises(RuntimeError, match="numba is not installed"):
+            kernels_numba.jit_kernels()
+        with pytest.raises(RuntimeError):
+            FlowShopNumbaPool(self._problem())
+
+    def test_solve_with_optional_backend_still_exact(self):
+        # End to end through the registry singletons (which may have
+        # warned already in this process — swallow, don't assert).
+        instance = random_instance(6, 3, seed=7)
+        oracle = solve(FlowShopProblem(instance), batched_bounds=False)
+        for backend in ("numba", "cupy"):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                pooled = solve(
+                    FlowShopProblem(instance), kernel_backend=backend
+                )
+            _assert_same_resolution(oracle, pooled)
