@@ -1,26 +1,34 @@
-"""Engine throughput — pool-evaluation kernel backends vs batched vs scalar.
+"""Engine throughput — frontier strategies and pool-kernel backends.
 
 PR 2's tentpole restructured the exploration hot path around
 ``Problem.bound_children``: at decomposition time the engine bounds all
 siblings in one vectorised kernel call and prunes before pushing.  PR 7
-goes one step further: a pluggable bound-kernel backend
-(``repro.core.kernels``) bounds a whole *pool* of same-depth frontier
-entries per call, amortising kernel fixed costs across families.
+added a pluggable bound-kernel backend (``repro.core.kernels``) that
+bounds a whole *pool* of same-depth frontier entries per call.  PR 8
+closes the loop: the ``frontier="wave"`` exploration order accumulates
+up to ``pool_size`` same-depth nodes per kernel call instead of
+scavenging whatever a thin DFS stack happens to hold.
 
 This benchmark solves 20-job flow-shop instances with every available
-path — scalar, per-family batched, pooled numpy, and (when installed)
-pooled numba / cupy — asserts that they agree **exactly** (same
-optimum, byte-identical ``ExplorationStats``), and records nodes/sec
-per backend into ``BENCH_PR7.json`` at the repo root.  Backends whose
-optional dependency is missing are recorded as unavailable with the
-reason instead of being silently skipped.
+path — scalar, per-family batched, pooled-DFS numpy, wave-frontier
+numpy, and (when installed) the numba / cupy variants of both —
+asserts that the DFS paths agree **exactly** (same optimum,
+byte-identical ``ExplorationStats``) and that wave mode reaches the
+identical optimum with the identical proof (node counts legitimately
+differ: waves see incumbents at different moments), and records
+nodes/sec per backend plus the pool-occupancy histogram of every wave
+run into ``BENCH_PR8.json`` at the repo root.  Backends whose optional
+dependency is missing are recorded as unavailable with the reason
+instead of being silently skipped.
 
 End-to-end DFS throughput understates what pooling buys: on a strongly
 pruned tree the live frontier per depth is only a handful of entries,
-so pool calls stay small.  The ``kernel_pools`` section therefore also
-measures the kernels in isolation — families/sec of one pooled
-evaluation over N parents vs N per-family calls — which is the regime
-grid-scale frontiers (and the numba/cupy backends) actually run in.
+so pool calls stay small (median occupancy ~2 at pool_size=64).  The
+wave sweep shows what filling the pool is worth end-to-end; the
+``kernel_pools`` section additionally measures the kernels in
+isolation — families/sec of one pooled evaluation over N parents vs N
+per-family calls — which is the regime grid-scale frontiers (and the
+numba/cupy backends) actually run in.
 
 Run it via ``make bench-engine`` (``QUICK=1`` for the smoke scale) or
 directly::
@@ -77,8 +85,9 @@ from repro.problems.flowshop.makespan import (  # noqa: E402
     completion_front,
 )
 
-DEFAULT_OUTPUT = REPO_ROOT / "BENCH_PR7.json"
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_PR8.json"
 BASELINE = REPO_ROOT / "BENCH_PR2.json"
+PR7_BASELINE = REPO_ROOT / "BENCH_PR7.json"
 
 # Optional-dependency backends: timed when importable, recorded as
 # unavailable (with the reason) when not — forcing them anyway would
@@ -193,6 +202,72 @@ def _assert_identical(name: str, label: str, reference, candidate) -> None:
         )
 
 
+def _assert_same_optimum(name: str, label: str, reference, candidate) -> None:
+    """Wave mode's contract: identical optimum, solution, and proof.
+
+    Node accounting is *expected* to differ — a wave bounds whole
+    same-depth batches before any of their children can improve the
+    incumbent, so prune tests fire at different moments than in DFS —
+    which is why this deliberately does not compare ``stats``.
+    """
+    if candidate.cost != reference.cost:
+        raise AssertionError(
+            f"{name}: {label} optimum differs "
+            f"({candidate.cost} vs {reference.cost})"
+        )
+    if candidate.solution != reference.solution:
+        raise AssertionError(f"{name}: {label} solution differs")
+    if candidate.optimal != reference.optimal:
+        raise AssertionError(
+            f"{name}: {label} proof status differs "
+            f"({candidate.optimal} vs {reference.optimal})"
+        )
+
+
+def _occupancy_summary(occupancy: Dict[int, int]) -> Dict[str, Any]:
+    """Histogram of pool-call occupancy -> median/mean/total summary."""
+    total_calls = sum(occupancy.values())
+    if total_calls == 0:
+        return {
+            "pool_calls": 0,
+            "occupancy_median": 0,
+            "occupancy_mean": 0.0,
+            "occupancy_max": 0,
+            "histogram": {},
+        }
+    parents = sum(size * count for size, count in occupancy.items())
+    median = 0
+    seen = 0
+    for size in sorted(occupancy):
+        seen += occupancy[size]
+        if seen * 2 >= total_calls:
+            median = size
+            break
+    return {
+        "pool_calls": total_calls,
+        "occupancy_median": median,
+        "occupancy_mean": round(parents / total_calls, 1),
+        "occupancy_max": max(occupancy),
+        "histogram": {
+            str(size): occupancy[size] for size in sorted(occupancy)
+        },
+    }
+
+
+def _pr7_pooled_rates() -> Dict[str, int]:
+    """PR 7's recorded pooled-numpy nodes/sec per config name, if present."""
+    if not PR7_BASELINE.exists():
+        return {}
+    try:
+        data = json.loads(PR7_BASELINE.read_text())
+        return {
+            rec["name"]: rec["backends"]["numpy"]["nodes_per_sec"]
+            for rec in data.get("configs", [])
+        }
+    except (ValueError, KeyError):
+        return {}
+
+
 def _baseline_batched_rates() -> Dict[str, int]:
     """PR 2's recorded batched nodes/sec per config name, if present."""
     if not BASELINE.exists():
@@ -297,6 +372,7 @@ def kernel_pool_benchmark(
 def run_benchmark(quick: bool = False, repeats: int = 3) -> Dict[str, Any]:
     """Run every configuration on every path; verify exact agreement."""
     baseline = _baseline_batched_rates()
+    pr7_pooled = _pr7_pooled_rates()
     optional_status: Dict[str, Dict[str, Any]] = {}
     for name in OPTIONAL_BACKENDS:
         backend = get_backend(name)
@@ -330,6 +406,38 @@ def run_benchmark(quick: bool = False, repeats: int = 3) -> Dict[str, Any]:
                 _rates(opt_r.stats, opt_s), identical_stats=True
             )
 
+        # Wave-frontier sweep: same backends, frontier="wave".  The
+        # optimum/proof must match the scalar oracle bit-for-bit; node
+        # counts may not, so each wave record carries its own counts
+        # and the occupancy histogram that is the point of the mode.
+        wave_backends: Dict[str, Any] = {}
+        for name in ("numpy",) + OPTIONAL_BACKENDS:
+            if name != "numpy" and not optional_status[name]["available"]:
+                wave_backends[name] = {
+                    "available": False,
+                    "reason": optional_status[name]["reason"],
+                }
+                continue
+            wave_s, wave_r = _run_one(
+                config, repeats, kernel_backend=name, frontier="wave"
+            )
+            _assert_same_optimum(
+                config["name"], f"wave-{name}", scalar_r, wave_r
+            )
+            dfs_rate = backends[name]["nodes_per_sec"]
+            dfs_seconds = backends[name]["seconds"]
+            wave_backends[name] = dict(
+                _rates(wave_r.stats, wave_s),
+                identical_optimum=True,
+                nodes_explored=wave_r.stats.nodes_explored,
+                frontier_spills=wave_r.frontier_spills,
+                speedup_vs_pooled_dfs=round(
+                    (wave_r.stats.nodes_explored / wave_s) / dfs_rate, 2
+                ),
+                wall_speedup_vs_pooled_dfs=round(dfs_seconds / wave_s, 2),
+                **_occupancy_summary(wave_r.pool_occupancy),
+            )
+
         stats = scalar_r.stats
         instance = config["instance"]
         record = {
@@ -348,6 +456,7 @@ def run_benchmark(quick: bool = False, repeats: int = 3) -> Dict[str, Any]:
             "scalar": _rates(stats, scalar_s),
             "batched": _rates(stats, batched_s),
             "backends": backends,
+            "wave": wave_backends,
             "speedup": round(scalar_s / batched_s, 2),
             "pooled_speedup_vs_scalar": round(scalar_s / pooled_s, 2),
             "pooled_speedup_vs_batched": round(batched_s / pooled_s, 2),
@@ -358,14 +467,24 @@ def run_benchmark(quick: bool = False, repeats: int = 3) -> Dict[str, Any]:
             record["pooled_vs_pr2_batched"] = round(
                 backends["numpy"]["nodes_per_sec"] / base_rate, 2
             )
+        pr7_rate = pr7_pooled.get(config["name"])
+        if pr7_rate:
+            record["pr7_pooled_nodes_per_sec"] = pr7_rate
+            record["wave_vs_pr7_pooled"] = round(
+                wave_backends["numpy"]["nodes_per_sec"] / pr7_rate, 2
+            )
         records.append(record)
 
-    headline = max(records, key=lambda rec: rec["pooled_speedup_vs_scalar"])
+    headline = max(
+        records,
+        key=lambda rec: rec["wave"]["numpy"]["speedup_vs_pooled_dfs"],
+    )
+    wave_head = headline["wave"]["numpy"]
     return {
-        "pr": 7,
+        "pr": 8,
         "benchmark": (
-            "engine throughput: pool-evaluation kernel backends "
-            "vs batched vs per-node"
+            "engine throughput: wave vs dfs frontiers over "
+            "pool-evaluation kernel backends"
         ),
         "command": "make bench-engine",
         "quick": quick,
@@ -373,12 +492,16 @@ def run_benchmark(quick: bool = False, repeats: int = 3) -> Dict[str, Any]:
         "optional_backends": optional_status,
         "headline": {
             "config": headline["name"],
-            "speedup": headline["speedup"],
-            "pooled_speedup_vs_scalar": headline["pooled_speedup_vs_scalar"],
-            "batched_nodes_per_sec": headline["batched"]["nodes_per_sec"],
-            "pooled_nodes_per_sec": (
+            "wave_speedup_vs_pooled_dfs": wave_head["speedup_vs_pooled_dfs"],
+            "wave_wall_speedup_vs_pooled_dfs": (
+                wave_head["wall_speedup_vs_pooled_dfs"]
+            ),
+            "wave_occupancy_median": wave_head["occupancy_median"],
+            "wave_nodes_per_sec": wave_head["nodes_per_sec"],
+            "pooled_dfs_nodes_per_sec": (
                 headline["backends"]["numpy"]["nodes_per_sec"]
             ),
+            "pooled_speedup_vs_scalar": headline["pooled_speedup_vs_scalar"],
             "scalar_nodes_per_sec": headline["scalar"]["nodes_per_sec"],
         },
         "configs": records,
@@ -416,6 +539,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"pooled {pooled:>7} n/s  "
             f"pooled-vs-scalar {rec['pooled_speedup_vs_scalar']:>6.2f}x"
         )
+        for name, wave in rec["wave"].items():
+            if not wave.get("identical_optimum"):
+                continue
+            print(
+                f"{rec['name']:<30} wave-{name:<6} "
+                f"{wave['nodes_explored']:>7} nodes  "
+                f"{wave['nodes_per_sec']:>7} n/s  "
+                f"occupancy median {wave['occupancy_median']:>3} "
+                f"({wave['pool_calls']} pool calls)  "
+                f"vs pooled-dfs {wave['speedup_vs_pooled_dfs']:>6.2f}x"
+            )
     for rec in report["kernel_pools"]:
         print(
             f"kernel pool [{rec['pair_strategy']}] N={rec['pool_size']:<4} "
@@ -428,6 +562,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"backend {name}: unavailable ({status['reason']})")
     print(
         f"headline: {report['headline']['config']} "
+        f"wave {report['headline']['wave_speedup_vs_pooled_dfs']:.2f}x "
+        f"vs pooled dfs (occupancy median "
+        f"{report['headline']['wave_occupancy_median']}), "
         f"pooled {report['headline']['pooled_speedup_vs_scalar']:.2f}x "
         f"vs scalar"
     )

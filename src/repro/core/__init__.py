@@ -22,6 +22,7 @@ from repro.core.checkpoint import (
     RecoveredState,
 )
 from repro.core.engine import (
+    FRONTIER_CHOICES,
     IntervalExplorer,
     SolveResult,
     StepReport,
@@ -51,6 +52,7 @@ __all__ = [
     "JournalRecord",
     "RecoveredState",
     "ExplorationStats",
+    "FRONTIER_CHOICES",
     "Incumbent",
     "Interval",
     "IntervalExplorer",

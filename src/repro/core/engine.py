@@ -11,9 +11,17 @@ coordinator for checkpointing (§4.1).
 
 Correspondence with the paper's four operators (§2):
 
-* **selection** — DFS order is hard-wired: the stack is kept sorted so
-  the smallest node number is always explored next (eq. 9 then holds
-  by construction and folding is O(1));
+* **selection** — two strategies over one number-sorted stack.  The
+  default (``frontier="dfs"``) is the paper's: the smallest node
+  number is always explored next (eq. 9 then holds by construction
+  and folding is O(1)).  ``frontier="wave"`` pops *runs* of same-depth
+  entries off the top of the stack — up to ``pool_size`` decomposable
+  parents per wave — so the pool kernels receive wide pools instead of
+  whatever a thin DFS frontier happens to hold.  Waves still always
+  take the smallest-numbered entries, so leaves are evaluated in the
+  same left-to-right order, the stack stays number-sorted, and the
+  fold is still the two integers ``[top, B)`` (see
+  :meth:`IntervalExplorer.remaining_interval`);
 * **branching** — delegated to :meth:`Problem.branch`;
 * **bounding** — delegated to :meth:`Problem.lower_bound`, or, when a
   problem implements :meth:`Problem.bound_children`, evaluated for all
@@ -35,7 +43,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.active_list import ActiveList, ActiveNode
 from repro.core.interval import Interval
@@ -47,12 +55,16 @@ from repro.core.unfold import unfold
 from repro.exceptions import EngineError, ProblemError
 
 __all__ = [
+    "FRONTIER_CHOICES",
     "IntervalExplorer",
     "StepReport",
     "SolveResult",
     "solve",
     "brute_force_minimum",
 ]
+
+#: Frontier exploration strategies the engine implements.
+FRONTIER_CHOICES: Tuple[str, ...] = ("dfs", "wave")
 
 ImprovementCallback = Callable[[float, Any], None]
 
@@ -75,6 +87,12 @@ class SolveResult:
     stats: ExplorationStats
     interval: Interval
     optimal: bool = True
+    # Pool-evaluation telemetry (kept out of ExplorationStats so node
+    # accounting stays byte-comparable across frontiers and backends):
+    # occupancy -> backend calls at that occupancy, and the number of
+    # wave-mode width spills.
+    pool_occupancy: Dict[int, int] = field(default_factory=dict)
+    frontier_spills: int = 0
 
     def found_solution(self) -> bool:
         return self.solution is not None
@@ -154,9 +172,38 @@ class IntervalExplorer:
         — the scalar path is the oracle and stays pure.
     pool_size:
         Maximum number of frontier nodes bounded per pool call
-        (default 64).  Pooling only *reorders when bound arithmetic
-        runs* — never which nodes are popped, pruned or counted — so
-        any value >= 1 yields identical results and stats.
+        (default 64).  On the DFS frontier, pooling only *reorders
+        when bound arithmetic runs* — never which nodes are popped,
+        pruned or counted — so any value >= 1 yields identical
+        results and stats.  On the wave frontier it is also the wave
+        width: how many decomposable parents one wave accumulates.
+    pool_scan_budget:
+        How many stack entries one DFS pool refill may inspect while
+        gathering same-depth candidates (see :meth:`_pool_fill`).
+        ``None`` (default) uses ``max(4 * pool_size, 64)`` — enough to
+        skip past a few interleaved depths without turning every
+        refill into an O(stack) scan.  Raising it widens DFS pools on
+        deep, interleaved frontiers at O(budget) scan cost per refill;
+        the wave frontier does not scan at all (the wave itself is the
+        pool), so this knob is DFS-only.
+    frontier:
+        ``"dfs"`` (default) explores strictly smallest-number-first —
+        the paper's order, byte-identical stats across every backend.
+        ``"wave"`` pops whole same-depth runs (up to ``pool_size``
+        decomposable parents per wave) so pool kernels see wide pools
+        even where DFS would feed them one or two entries.  The wave
+        order still takes the smallest-numbered entries first, so the
+        optimum, the proof of optimality and the improvement sequence
+        match the DFS oracle exactly; the *explored-node counters* may
+        differ (pruning tests happen at different moments against the
+        then-current incumbent) and are reported honestly.
+    frontier_width:
+        Wave-mode memory bound: once the stack holds more than this
+        many entries, exploration spills to single-entry DFS pops
+        (draining the smallest subtrees first) until the frontier
+        shrinks back under the cap, then waves resume.  Spills are
+        counted in :attr:`frontier_spills`.  Ignored on the DFS
+        frontier, whose stack is O(depth x branching) by construction.
     """
 
     def __init__(
@@ -171,6 +218,9 @@ class IntervalExplorer:
         bound_poll_nodes: int = 256,
         kernel_backend: Optional[str] = None,
         pool_size: int = 64,
+        pool_scan_budget: Optional[int] = None,
+        frontier: str = "dfs",
+        frontier_width: int = 32768,
     ):
         self.problem = problem
         if batched_bounds is None:
@@ -184,7 +234,29 @@ class IntervalExplorer:
         # How many stack entries one refill may inspect: bounded so a
         # deep frontier does not turn every pool fill into an O(stack)
         # scan when few candidates qualify.
-        self._pool_scan = max(4 * pool_size, 64)
+        if pool_scan_budget is not None and pool_scan_budget < 1:
+            raise EngineError("pool_scan_budget must be >= 1 (or None)")
+        self._pool_scan = (
+            pool_scan_budget
+            if pool_scan_budget is not None
+            else max(4 * pool_size, 64)
+        )
+        if frontier not in FRONTIER_CHOICES:
+            raise EngineError(
+                f"unknown frontier {frontier!r} "
+                f"(expected one of {', '.join(FRONTIER_CHOICES)})"
+            )
+        self.frontier = frontier
+        if frontier_width < 1:
+            raise EngineError("frontier_width must be >= 1")
+        self.frontier_width = frontier_width
+        #: Wave-mode spill events: waves deferred to DFS pops because
+        #: the stack exceeded ``frontier_width``.
+        self.frontier_spills: int = 0
+        #: Pool-evaluator call histogram: occupancy -> number of calls
+        #: that bounded that many parents at once (every backend call
+        #: is recorded, on both frontiers).
+        self.pool_occupancy: Dict[int, int] = {}
         self._pool_evaluator: Optional[PoolEvaluator] = (
             pool_evaluator_for(problem, kernel_backend)
             if self._batched_bounds
@@ -269,7 +341,15 @@ class IntervalExplorer:
         Note: after :meth:`restrict_end` the last node's range may
         extend past :attr:`end`; exploration clips lazily, so the list
         covers *at least* the remaining interval.
+
+        A wave frontier is not a contiguous eq. 9 chain (pruned runs
+        leave gaps between surviving subtrees), so in wave mode this
+        returns the canonical *covering* list instead: the unfold of
+        :meth:`remaining_interval` — exactly the frontier a resume
+        would reconstruct from the fold.
         """
+        if self.frontier == "wave":
+            return unfold(self.shape, self.remaining_interval())
         nodes = [
             ActiveNode(self.shape, entry.ranks)
             for entry in reversed(self._stack)
@@ -333,8 +413,10 @@ class IntervalExplorer:
         decomposition time (they never reach the stack) also count —
         they are the same nodes the per-node path would pop and prune —
         so a step may overshoot ``max_nodes`` by at most one family of
-        siblings.
+        siblings (one wave plus its children in wave mode).
         """
+        if self.frontier == "wave":
+            return self._step_wave(max_nodes)
         problem = self.problem
         stack = self._stack
         leaf_depth = self.shape.leaf_depth
@@ -500,9 +582,25 @@ class IntervalExplorer:
                 ):
                     continue
                 group.append(cand)
+        self._evaluate_pool(evaluator, group, depth)
+        return entry.child_bounds
+
+    def _evaluate_pool(
+        self, evaluator: PoolEvaluator, group: List[_Entry], depth: int
+    ) -> None:
+        """One backend call: bound the children of every entry in
+        ``group`` (all at ``depth``), cache the rows on the entries,
+        and record the call's occupancy in :attr:`pool_occupancy`.
+        Declined rows (``None``) leave ``child_bounds`` unset, so the
+        caller's per-parent fallbacks still apply.
+        """
         results = evaluator([cand.state for cand in group], depth)
+        occupancy = len(group)
+        self.pool_occupancy[occupancy] = (
+            self.pool_occupancy.get(occupancy, 0) + 1
+        )
         if results is None:
-            return None
+            return
         expected = self.shape.num_children(depth)
         for cand, row in zip(group, results):
             if row is None:
@@ -515,7 +613,268 @@ class IntervalExplorer:
                 )
             tolist = getattr(row, "tolist", None)
             cand.child_bounds = tolist() if tolist is not None else list(row)
-        return entry.child_bounds
+
+    # ------------------------------------------------------------------
+    # wave frontier
+    # ------------------------------------------------------------------
+    def _step_wave(self, max_nodes: float) -> StepReport:
+        """Wave-mode :meth:`step`: same-depth runs instead of single pops.
+
+        Each iteration pops the top run of same-depth entries — prune-
+        checking as it goes — until it holds ``pool_size`` decomposable
+        parents, then bounds *all* their children in one pool-evaluator
+        call and pushes the surviving children (early-pruned exactly
+        like the batched DFS path).  Because the stack is sorted by
+        decreasing number and waves always consume its top, the frontier
+        stays number-sorted, leaves are still evaluated left to right,
+        and :meth:`remaining_interval` stays a valid fold: every
+        unexplored leaf is numbered at or above the top entry.  Leaves
+        and over-``frontier_width`` spills are processed by single DFS
+        pops (:meth:`_process_single`).
+        """
+        problem = self.problem
+        stack = self._stack
+        leaf_depth = self.shape.leaf_depth
+        weights = self._weights
+        stats = self.stats
+        batched = self._batched_bounds
+        pool_evaluator = self._pool_evaluator
+        pool_size = self.pool_size
+        width = self.frontier_width
+        processed = 0
+        improved = False
+        provider = self.bound_provider
+        poll = self.bound_poll_nodes if provider is not None else 0
+        countdown = poll
+
+        while stack and processed < max_nodes:
+            if poll and countdown <= 0:
+                # Wave-sized decrements: poll roughly every
+                # ``bound_poll_nodes`` processed nodes, like DFS.
+                countdown = poll
+                shared = provider()
+                if shared < self.incumbent.cost:
+                    self.incumbent.cost = shared
+                    self.incumbent.solution = None
+            if stack[-1].number >= self._end:
+                # Sorted stack: the smallest-numbered entry is already
+                # out of range, so everything else is too.
+                stats.nodes_skipped_out_of_range += len(stack)
+                stack.clear()
+                break
+            depth = len(stack[-1].ranks)
+            if depth == leaf_depth or len(stack) > width:
+                # Leaves gain nothing from grouping (leaf_cost is
+                # scalar); an over-width stack must shrink before the
+                # next wave may multiply it — single DFS pops drain
+                # the smallest subtrees first either way.
+                if depth != leaf_depth:
+                    self.frontier_spills += 1
+                count, leaf_improved = self._process_single(stack.pop())
+                processed += count
+                countdown -= count
+                improved = improved or leaf_improved
+                continue
+
+            # Pop the wave: same-depth entries off the top until
+            # pool_size decomposable parents survive the prune test
+            # (no leaves are evaluated here, so the incumbent cannot
+            # move under the wave).
+            survivors: List[_Entry] = []
+            incumbent_cost = self.incumbent.cost
+            while stack and len(survivors) < pool_size:
+                cand = stack[-1]
+                if len(cand.ranks) != depth:
+                    break
+                if cand.number >= self._end:
+                    stats.nodes_skipped_out_of_range += len(stack)
+                    stack.clear()
+                    break
+                stack.pop()
+                processed += 1
+                countdown -= 1
+                stats.nodes_explored += 1
+                stats.bound_evaluations += 1
+                bound = cand.bound
+                if bound is None:
+                    bound = problem.lower_bound(cand.state, depth)
+                if bound >= incumbent_cost:
+                    stats.nodes_pruned += 1
+                    continue
+                stats.nodes_decomposed += 1
+                survivors.append(cand)
+            if not survivors:
+                continue
+
+            child_depth = depth + 1
+            if pool_evaluator is not None and child_depth < leaf_depth:
+                group = [e for e in survivors if e.child_bounds is None]
+                if group:
+                    self._evaluate_pool(pool_evaluator, group, depth)
+
+            # Push children, highest-numbered parent first, so the
+            # stack stays sorted by decreasing number (subtree ranges
+            # are disjoint and ordered).
+            child_weight = weights[child_depth]
+            for entry in reversed(survivors):
+                child_bounds = entry.child_bounds
+                if (
+                    child_bounds is None
+                    and batched
+                    and child_depth < leaf_depth
+                ):
+                    raw_bounds = problem.bound_children(entry.state, depth)
+                    if raw_bounds is not None:
+                        if len(raw_bounds) != self.shape.num_children(depth):
+                            raise ProblemError(
+                                f"{problem.name()}.bound_children returned "
+                                f"{len(raw_bounds)} bounds at depth {depth},"
+                                f" shape expects "
+                                f"{self.shape.num_children(depth)}"
+                            )
+                        tolist = getattr(raw_bounds, "tolist", None)
+                        child_bounds = (
+                            tolist()
+                            if tolist is not None
+                            else list(raw_bounds)
+                        )
+                children = self._branch_checked(entry.state, depth)
+                if child_bounds is None:
+                    for rank in range(len(children) - 1, -1, -1):
+                        child_number = entry.number + rank * child_weight
+                        if child_number >= self._end:
+                            stats.nodes_skipped_out_of_range += 1
+                            continue
+                        stack.append(
+                            _Entry(
+                                entry.ranks + (rank,),
+                                children[rank],
+                                child_number,
+                            )
+                        )
+                    continue
+                for rank in range(len(children) - 1, -1, -1):
+                    child_number = entry.number + rank * child_weight
+                    if child_number >= self._end:
+                        stats.nodes_skipped_out_of_range += 1
+                        continue
+                    child_bound = child_bounds[rank]
+                    if child_bound >= incumbent_cost:
+                        processed += 1
+                        countdown -= 1
+                        stats.nodes_explored += 1
+                        stats.bound_evaluations += 1
+                        stats.nodes_pruned += 1
+                        continue
+                    stack.append(
+                        _Entry(
+                            entry.ranks + (rank,),
+                            children[rank],
+                            child_number,
+                            child_bound,
+                        )
+                    )
+
+        return StepReport(processed, finished=not stack, improved=improved)
+
+    def _process_single(self, entry: _Entry) -> Tuple[int, bool]:
+        """Explore one already-popped, in-range entry the DFS way.
+
+        The wave loop's fallback for leaves and width spills — same
+        accounting as the main DFS loop, including the decomposition-
+        time pool refill and early pruning.  Returns ``(nodes counted,
+        incumbent improved)``.
+        """
+        problem = self.problem
+        stats = self.stats
+        stats.nodes_explored += 1
+        depth = len(entry.ranks)
+        leaf_depth = self.shape.leaf_depth
+
+        if depth == leaf_depth:
+            stats.leaves_evaluated += 1
+            cost = problem.leaf_cost(entry.state)
+            if cost < self.incumbent.cost:
+                self.incumbent.cost = cost
+                self.incumbent.solution = problem.leaf_solution(entry.state)
+                stats.improvements += 1
+                if self.on_improvement is not None:
+                    self.on_improvement(
+                        self.incumbent.cost, self.incumbent.solution
+                    )
+                return 1, True
+            return 1, False
+
+        stats.bound_evaluations += 1
+        bound = entry.bound
+        if bound is None:
+            bound = problem.lower_bound(entry.state, depth)
+        if bound >= self.incumbent.cost:
+            stats.nodes_pruned += 1
+            return 1, False
+
+        stats.nodes_decomposed += 1
+        child_depth = depth + 1
+        child_bounds: Optional[List[float]] = entry.child_bounds
+        if (
+            child_bounds is None
+            and self._pool_evaluator is not None
+            and child_depth < leaf_depth
+        ):
+            child_bounds = self._pool_fill(self._pool_evaluator, entry, depth)
+        if (
+            child_bounds is None
+            and self._batched_bounds
+            and child_depth < leaf_depth
+        ):
+            raw_bounds = problem.bound_children(entry.state, depth)
+            if raw_bounds is not None:
+                if len(raw_bounds) != self.shape.num_children(depth):
+                    raise ProblemError(
+                        f"{problem.name()}.bound_children returned "
+                        f"{len(raw_bounds)} bounds at depth {depth}, "
+                        f"shape expects {self.shape.num_children(depth)}"
+                    )
+                tolist = getattr(raw_bounds, "tolist", None)
+                child_bounds = (
+                    tolist() if tolist is not None else list(raw_bounds)
+                )
+        children = self._branch_checked(entry.state, depth)
+        child_weight = self._weights[child_depth]
+        stack = self._stack
+        processed = 1
+        if child_bounds is None:
+            for rank in range(len(children) - 1, -1, -1):
+                child_number = entry.number + rank * child_weight
+                if child_number >= self._end:
+                    stats.nodes_skipped_out_of_range += 1
+                    continue
+                stack.append(
+                    _Entry(entry.ranks + (rank,), children[rank], child_number)
+                )
+            return processed, False
+        incumbent_cost = self.incumbent.cost
+        for rank in range(len(children) - 1, -1, -1):
+            child_number = entry.number + rank * child_weight
+            if child_number >= self._end:
+                stats.nodes_skipped_out_of_range += 1
+                continue
+            child_bound = child_bounds[rank]
+            if child_bound >= incumbent_cost:
+                processed += 1
+                stats.nodes_explored += 1
+                stats.bound_evaluations += 1
+                stats.nodes_pruned += 1
+                continue
+            stack.append(
+                _Entry(
+                    entry.ranks + (rank,),
+                    children[rank],
+                    child_number,
+                    child_bound,
+                )
+            )
+        return processed, False
 
     def run(self) -> ExplorationStats:
         """Explore the whole owned interval to completion."""
@@ -537,6 +896,9 @@ def solve(
     batched_bounds: Optional[bool] = None,
     kernel_backend: Optional[str] = None,
     pool_size: int = 64,
+    pool_scan_budget: Optional[int] = None,
+    frontier: str = "dfs",
+    frontier_width: int = 32768,
 ) -> SolveResult:
     """Sequentially solve ``problem`` (over ``interval``) with proof.
 
@@ -547,9 +909,12 @@ def solve(
     ``initial_upper_bound`` for the same effect (note: with a pure
     bound and no solution, an instance whose optimum equals the bound
     reports ``solution=None``; pass ``initial_solution`` to keep it).
-    ``kernel_backend`` / ``pool_size`` select the pool bound-kernel
-    backend (see :class:`IntervalExplorer`); the default pools with
-    numpy on problems that register pooled kernels.
+    ``kernel_backend`` / ``pool_size`` / ``pool_scan_budget`` select
+    the pool bound-kernel backend (see :class:`IntervalExplorer`); the
+    default pools with numpy on problems that register pooled kernels.
+    ``frontier="wave"`` (with its ``frontier_width`` memory cap) fills
+    those pools from same-depth exploration waves instead of the DFS
+    stack — same optimum and proof, wider kernel calls.
     """
     incumbent = Incumbent(initial_upper_bound, initial_solution)
     explorer = IntervalExplorer(
@@ -560,6 +925,9 @@ def solve(
         batched_bounds=batched_bounds,
         kernel_backend=kernel_backend,
         pool_size=pool_size,
+        pool_scan_budget=pool_scan_budget,
+        frontier=frontier,
+        frontier_width=frontier_width,
     )
     explorer.run()
     full = Interval(0, problem.total_leaves()) if interval is None else interval
@@ -568,6 +936,8 @@ def solve(
         solution=explorer.incumbent.solution,
         stats=explorer.stats,
         interval=full,
+        pool_occupancy=dict(explorer.pool_occupancy),
+        frontier_spills=explorer.frontier_spills,
     )
 
 

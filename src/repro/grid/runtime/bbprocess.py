@@ -267,6 +267,9 @@ def worker_main(
     bound_poll_nodes: int = 256,
     kernel_backend: Optional[str] = None,
     pool_size: int = 64,
+    pool_scan_budget: Optional[int] = None,
+    frontier: str = "dfs",
+    frontier_width: int = 32768,
 ) -> str:
     """Run one B&B process until the coordinator says terminate.
 
@@ -283,10 +286,15 @@ def worker_main(
     immediately.  ``shared_bound`` is the run's advisory
     :class:`~repro.grid.runtime.shared.SharedBound` (or None).
 
-    ``kernel_backend`` / ``pool_size`` configure the pool-evaluation
-    bound kernels of every explorer this worker runs (see
-    :mod:`repro.core.kernels`): ``None`` auto-selects, ``"off"``
-    keeps per-family batched bounds only.
+    ``kernel_backend`` / ``pool_size`` / ``pool_scan_budget``
+    configure the pool-evaluation bound kernels of every explorer
+    this worker runs (see :mod:`repro.core.kernels`): ``None``
+    auto-selects, ``"off"`` keeps per-family batched bounds only.
+    ``frontier`` / ``frontier_width`` select the exploration order
+    (``"dfs"`` or ``"wave"`` — see
+    :class:`~repro.core.engine.IntervalExplorer`); both orders fold
+    to the same two-integer interval at every update boundary, so
+    the coordinator protocol is unchanged.
 
     ``crash_after_updates`` makes the worker exit abruptly (no Bye)
     after that many interval updates; ``hang_after_updates`` makes it
@@ -320,6 +328,9 @@ def worker_main(
             bound_poll_nodes=bound_poll_nodes,
             kernel_backend=kernel_backend,
             pool_size=pool_size,
+            pool_scan_budget=pool_scan_budget,
+            frontier=frontier,
+            frontier_width=frontier_width,
         )
     finally:
         connection.close()
@@ -345,6 +356,9 @@ def _worker_loop(
     bound_poll_nodes: int,
     kernel_backend: Optional[str] = None,
     pool_size: int = 64,
+    pool_scan_budget: Optional[int] = None,
+    frontier: str = "dfs",
+    frontier_width: int = 32768,
 ) -> str:
     problem = spec.build()
     stats_total: Dict[str, float] = {
@@ -434,6 +448,9 @@ def _worker_loop(
             bound_poll_nodes=bound_poll_nodes,
             kernel_backend=kernel_backend,
             pool_size=pool_size,
+            pool_scan_budget=pool_scan_budget,
+            frontier=frontier,
+            frontier_width=frontier_width,
         )
 
         def collect_reconciled() -> str:

@@ -24,6 +24,7 @@ __all__ = [
     "TypedCoreDiscipline",
     "DurableCheckpointWrites",
     "LazyAcceleratorImports",
+    "FrontierIntExactness",
 ]
 
 
@@ -776,3 +777,99 @@ class LazyAcceleratorImports(Rule):
             f"repro/core/kernels/ backend) so machines without it "
             f"still run",
         )
+
+
+@register
+class FrontierIntExactness(Rule):
+    """RC10 — frontier node numbering must stay int-exact.
+
+    PR 8's wave frontier multiplied the places that *compute* node
+    numbers: the DFS body, the wave loop, the spill path and the pool
+    refill all derive ``child_number = number + rank * weight`` from
+    tree weights as large as ``50!``.  RC01 protects the number-coding
+    modules; this rule extends the same discipline to the engine and
+    the resumable wrapper, where exploration statistics and wall-clock
+    floats live *beside* the exact arithmetic.  Any ``/``, ``float()``
+    or float literal touching a node-number identifier in these
+    modules is a rounding bug waiting for a tree deeper than 2**53 —
+    both frontier strategies fold to ``[stack[-1].number, end)``, so
+    one rounded number corrupts the checkpoint, not just a bound.
+    """
+
+    code: ClassVar[str] = "RC10"
+    title: ClassVar[str] = "frontier node numbering stays int-exact"
+    invariant: ClassVar[str] = (
+        "node numbers, tree weights and fold endpoints in the engine "
+        "are exact bignum ints on every frontier strategy "
+        "(PAPER eq. 6-9; floats round above 2**53)"
+    )
+    scope: ClassVar[Tuple[str, ...]] = (
+        "repro/core/engine.py",
+        "repro/core/resumable.py",
+    )
+
+    #: Identifiers that hold node numbers / weights / fold endpoints.
+    #: Deliberately excludes cost/bound/seconds names: those are float
+    #: country, and mixing them here would drown the signal.
+    TAINTED: ClassVar[FrozenSet[str]] = frozenset(
+        {
+            "number",
+            "child_number",
+            "numbers",
+            "child_weight",
+            "weights",
+            "_weights",
+            "_end",
+            "new_end",
+            "begin",
+            "end",
+            "interval",
+            "remaining_interval",
+            "total_leaves",
+        }
+    )
+
+    def _tainted(self, node: ast.AST) -> bool:
+        return bool(_identifiers(node) & self.TAINTED)
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.BinOp, ast.AugAssign)) and isinstance(
+                node.op, ast.Div
+            ):
+                if self._tainted(node):
+                    yield self.violation(
+                        ctx,
+                        node,
+                        "true division on a node-number expression — "
+                        "use // so frontier folds stay int-exact",
+                    )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "float"
+            ):
+                if any(self._tainted(arg) for arg in node.args):
+                    yield self.violation(
+                        ctx,
+                        node,
+                        "float() conversion of a node number loses "
+                        "exactness above 2**53",
+                    )
+            elif isinstance(node, (ast.BinOp, ast.Compare)):
+                operands: List[ast.AST] = (
+                    [node.left, node.right]
+                    if isinstance(node, ast.BinOp)
+                    else [node.left, *node.comparators]
+                )
+                floats = [op for op in operands if _is_float_constant(op)]
+                others = [
+                    op for op in operands if not _is_float_constant(op)
+                ]
+                if floats and any(self._tainted(op) for op in others):
+                    yield self.violation(
+                        ctx,
+                        floats[0],
+                        "float literal mixed into node-number "
+                        "arithmetic",
+                    )

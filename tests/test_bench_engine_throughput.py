@@ -3,10 +3,11 @@
 Runs ``benchmarks/bench_engine_throughput.py`` at its ``--quick``
 scale on every test run: the point is not the timings but the
 benchmark's built-in verification — the scalar, batched and every
-pooled-backend exploration must find the same optimum with
-byte-identical node accounting, and the kernel-pool microbench must
-reproduce the per-family bounds bit for bit — so neither fast path
-can silently rot.
+pooled-backend DFS exploration must find the same optimum with
+byte-identical node accounting, every wave-frontier run must find the
+identical optimum with the identical proof, and the kernel-pool
+microbench must reproduce the per-family bounds bit for bit — so no
+fast path can silently rot.
 """
 
 import sys
@@ -41,11 +42,26 @@ def test_quick_benchmark_paths_agree():
             assert status.get("identical_stats") or (
                 status["available"] is False and status["reason"]
             )
-    assert report["headline"]["pooled_speedup_vs_scalar"] == max(
-        rec["pooled_speedup_vs_scalar"] for rec in report["configs"]
+        # The wave sweep runs per backend too: numpy always, with the
+        # occupancy histogram recorded, optionals unavailable-with-
+        # reason elsewhere.
+        wave = rec["wave"]["numpy"]
+        assert wave["identical_optimum"] is True
+        assert wave["nodes_per_sec"] > 0
+        assert wave["pool_calls"] > 0
+        assert wave["occupancy_median"] >= 1
+        assert sum(wave["histogram"].values()) == wave["pool_calls"]
+        for name in OPTIONAL_BACKENDS:
+            status = rec["wave"][name]
+            assert status.get("identical_optimum") or (
+                status["available"] is False and status["reason"]
+            )
+    assert report["headline"]["wave_speedup_vs_pooled_dfs"] == max(
+        rec["wave"]["numpy"]["speedup_vs_pooled_dfs"]
+        for rec in report["configs"]
     )
-    assert report["headline"]["speedup"] == next(
-        rec["speedup"]
+    assert report["headline"]["pooled_speedup_vs_scalar"] == next(
+        rec["pooled_speedup_vs_scalar"]
         for rec in report["configs"]
         if rec["name"] == report["headline"]["config"]
     )

@@ -584,6 +584,83 @@ def test_rc09_applies_to_tests_and_benchmarks(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# RC10 — frontier node numbering stays int-exact
+
+
+def test_rc10_flags_true_division_on_node_numbers(tmp_path):
+    result = run_check(
+        tmp_path,
+        "repro/core/engine.py",
+        """\
+        def midpoint(entry, weights, depth):
+            child_number = entry.number + entry.rank * weights[depth]
+            return child_number / 2
+        """,
+        select=["RC10"],
+    )
+    assert codes(result) == ["RC10"]
+    assert result.violations[0].line == 3
+    assert "//" in result.violations[0].message
+
+
+def test_rc10_flags_float_conversion_and_mixed_literals(tmp_path):
+    result = run_check(
+        tmp_path,
+        "repro/core/resumable.py",
+        """\
+        def progress_fraction(interval, total_leaves):
+            done = float(total_leaves - interval.length)
+            return done
+
+
+        def stale(number):
+            return number > 1e15
+        """,
+        select=["RC10"],
+    )
+    assert codes(result) == ["RC10", "RC10"]
+    assert "2**53" in result.violations[0].message
+    assert "float literal" in result.violations[1].message
+
+
+def test_rc10_leaves_cost_and_clock_floats_alone(tmp_path):
+    # Costs, bounds and wall-clock budgets are float country; the rule
+    # only guards the node-number identifiers.
+    result = run_check(
+        tmp_path,
+        "repro/core/engine.py",
+        """\
+        import math
+
+
+        def prune_margin(cost, bound):
+            return cost / max(bound, 1.0)
+
+
+        def step(max_nodes=math.inf):
+            elapsed = 0.25
+            return max_nodes - elapsed
+        """,
+        select=["RC10"],
+    )
+    assert result.clean
+
+
+def test_rc10_scope_is_engine_and_resumable_only(tmp_path):
+    # The same expression in grid/ is RC01 territory, not RC10.
+    result = run_check(
+        tmp_path,
+        "repro/grid/runtime/launcher.py",
+        """\
+        def half(number):
+            return number / 2
+        """,
+        select=["RC10"],
+    )
+    assert result.clean
+
+
+# ----------------------------------------------------------------------
 # Suppressions and RC00
 
 
@@ -673,7 +750,7 @@ def test_syntax_error_reports_check_error_exit_2(tmp_path):
 
 
 def test_every_rule_registered_with_metadata():
-    assert sorted(RULES) == [f"RC0{i}" for i in range(1, 10)]
+    assert sorted(RULES) == [f"RC0{i}" for i in range(1, 10)] + ["RC10"]
     for code, cls in RULES.items():
         assert cls.code == code
         assert cls.title and cls.invariant and cls.scope
