@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install lint check typecheck test chaos chaos-net chaos-kill bench bench-show bench-engine bench-parallel bench-net bench-recovery report examples clean
+.PHONY: install lint check typecheck test chaos chaos-net chaos-kill bench bench-show bench-engine bench-parallel bench-net bench-recovery bench-service report examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -40,9 +40,10 @@ chaos:
 
 # The cross-transport chaos matrix (marked slow, excluded from tier-1):
 # the same seeded schedules over in-process queues AND loopback TCP,
-# plus the socket-specific faults.
+# plus the socket-specific faults and the multi-tenant service SIGKILL
+# acceptance run (two jobs in flight, resume, serial-identical optima).
 chaos-net:
-	$(PYTHON) -m pytest tests/test_net_chaos.py -m "slow or not slow" -q -s
+	$(PYTHON) -m pytest tests/test_net_chaos.py tests/test_service_crash_e2e.py -m "slow or not slow" -q -s
 
 # The kill -9 acceptance run (marked slow, excluded from tier-1): a
 # real serve process SIGKILLed mid-run, resumed from its checkpoint
@@ -76,6 +77,12 @@ bench-net:
 # replay-latency sweep.  Regenerates BENCH_PR6.json.
 bench-recovery:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_recovery.py
+
+# Multi-tenant service throughput: a seeded Poisson job stream over one
+# shared fleet, fifo vs fair share.  Regenerates BENCH_PR9.json.
+# QUICK=1 runs the CI smoke configuration into BENCH_PR9.ci.json.
+bench-service:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_service_throughput.py $(if $(QUICK),--quick --output BENCH_PR9.ci.json)
 
 report:
 	$(PYTHON) -m repro.cli report

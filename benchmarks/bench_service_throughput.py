@@ -1,0 +1,349 @@
+"""Multi-tenant service throughput — jobs/hour under seeded Poisson load.
+
+PR 9's tentpole multiplexes many concurrent solves over one shared
+worker fleet.  This benchmark prices the front door: a seeded Poisson
+stream of heterogeneous flow-shop jobs (small instances interleaved
+with large ones) is submitted to a live :class:`SolveService` over
+loopback TCP, and the fleet drains it under both scheduling policies.
+Measured per configuration (1/2/4 workers x fifo/fair):
+
+- **jobs/hour** — completed jobs over the wall clock of the drain;
+- **queue wait** — submit-to-running, from the service's own ledger;
+- **sojourn split** — submit-to-done for small vs large jobs, the
+  number the fair-share policy exists to improve: under FIFO a small
+  job submitted behind a large one waits for the whole fleet, under
+  fair share it gets its slice immediately.
+
+Every job's proved optimum is asserted against a serial solve of the
+same instance — scheduling policy must never change a result, only
+when it arrives.
+
+Run via ``make bench-service`` or directly::
+
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py --quick
+
+The CI ``service`` leg runs ``--quick`` and uploads the JSON artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import solve  # noqa: E402
+from repro.grid.net.serve import run_worker  # noqa: E402
+from repro.grid.net.transport import TransportError  # noqa: E402
+from repro.grid.runtime import flowshop_spec  # noqa: E402
+from repro.grid.service import TERMINAL, SchedulerConfig  # noqa: E402
+from repro.grid.service.client import SyncServiceClient  # noqa: E402
+from repro.grid.service.server import (  # noqa: E402
+    ServiceConfig,
+    SolveService,
+)
+from repro.problems.flowshop import (  # noqa: E402
+    FlowShopProblem,
+    random_instance,
+)
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_PR9.json"
+
+
+def _catalog(quick: bool) -> List[Dict[str, Any]]:
+    """The job mix: small jobs interleaved behind large ones.
+
+    Sizes are deliberately bimodal — the sojourn split between the
+    policies only shows when a short job can get stuck behind a long
+    one.  Instances and serial costs are computed once and shared by
+    every configuration, so all runs see the identical workload.
+    """
+    if quick:
+        sizes = [("large", 7, 4), ("small", 5, 3), ("small", 5, 3),
+                 ("large", 7, 3)]
+    else:
+        # A large job leads each burst so the small ones queue behind
+        # it — the configuration FIFO handles worst and fair share
+        # exists to fix.
+        sizes = [
+            ("large", 9, 4), ("small", 6, 3), ("small", 6, 3),
+            ("small", 6, 3), ("large", 9, 4), ("small", 6, 3),
+            ("small", 6, 3), ("small", 6, 3),
+        ]
+    catalog = []
+    for index, (kind, jobs, machines) in enumerate(sizes):
+        instance = random_instance(jobs, machines, seed=400 + index)
+        serial = solve(FlowShopProblem(instance))
+        catalog.append(
+            {
+                "kind": kind,
+                "instance": instance,
+                "serial_cost": serial.cost,
+                "owner": "alice" if index % 2 == 0 else "bob",
+            }
+        )
+    return catalog
+
+
+def _arrival_gaps(count: int, mean_gap: float, seed: int) -> List[float]:
+    """Seeded Poisson arrivals: exponential inter-submit gaps."""
+    rng = random.Random(seed)
+    return [rng.expovariate(1.0 / mean_gap) for _ in range(count)]
+
+
+def _run_config(
+    catalog: List[Dict[str, Any]],
+    workers: int,
+    policy: str,
+    mean_gap: float,
+    seed: int,
+) -> Dict[str, Any]:
+    service = SolveService(
+        ServiceConfig(
+            port=0,
+            poll_interval=0.02,
+            idle_retry_after=0.05,
+            deadline=900.0,
+            linger_seconds=2.0,
+            scheduler=SchedulerConfig(
+                policy=policy,
+                max_running_jobs=len(catalog),
+                max_queued_jobs=len(catalog) + 4,
+                max_running_per_owner=len(catalog),
+            ),
+        )
+    )
+    host, port = service.address
+    report_box: Dict[str, Any] = {}
+    server_thread = threading.Thread(
+        target=lambda: report_box.update(report=service.serve_forever()),
+        daemon=True,
+    )
+    server_thread.start()
+
+    def work(wid: str) -> None:
+        try:
+            run_worker(
+                host, port, wid,
+                update_nodes=400,
+                update_period=0.05,
+                reply_timeout=2.0,
+                max_retries=3,
+                heartbeat_interval=0.5,
+                max_reconnect_attempts=2,
+                backoff_cap=0.2,
+            )
+        except TransportError:
+            pass  # the service is gone once the drain is over
+
+    worker_threads = [
+        threading.Thread(target=work, args=(f"{policy}-w{i}",), daemon=True)
+        for i in range(workers)
+    ]
+    for thread in worker_threads:
+        thread.start()
+
+    client = SyncServiceClient(host, port, timeout=30.0)
+    gaps = _arrival_gaps(len(catalog), mean_gap, seed)
+    submitted: List[Dict[str, Any]] = []
+    bench_start = time.monotonic()
+    for entry, gap in zip(catalog, gaps):
+        time.sleep(gap)
+        job_id = client.submit(
+            flowshop_spec(entry["instance"]), owner=entry["owner"]
+        )
+        submitted.append(
+            {
+                "job": job_id,
+                "entry": entry,
+                "submitted_at": time.monotonic(),
+            }
+        )
+
+    # Drain: poll the live service, stamping each job's first terminal
+    # sighting as its completion time.
+    done_at: Dict[str, float] = {}
+    deadline = time.monotonic() + 600.0
+    while len(done_at) < len(submitted) and time.monotonic() < deadline:
+        for summary in client.list_jobs():
+            job_id = summary["job"]
+            if summary["status"] in TERMINAL and job_id not in done_at:
+                done_at[job_id] = time.monotonic()
+        time.sleep(0.1)
+    wall_seconds = time.monotonic() - bench_start
+
+    service.shutdown()
+    server_thread.join(timeout=60)
+    for thread in worker_threads:
+        thread.join(timeout=60)
+    report = report_box["report"]
+
+    if len(done_at) < len(submitted):
+        raise AssertionError(
+            f"{policy}/{workers}w: only {len(done_at)}/{len(submitted)} "
+            f"jobs finished before the drain deadline"
+        )
+
+    job_rows = []
+    sojourns: Dict[str, List[float]] = {"small": [], "large": []}
+    for item in submitted:
+        entry = item["entry"]
+        summary = report.jobs[item["job"]]
+        if summary["status"] != "done":
+            raise AssertionError(
+                f"{policy}/{workers}w: job {item['job']} "
+                f"ended {summary['status']}"
+            )
+        if summary["cost"] != entry["serial_cost"]:
+            raise AssertionError(
+                f"{policy}/{workers}w: job {item['job']} proved "
+                f"{summary['cost']}, serial proved {entry['serial_cost']}"
+            )
+        sojourn = done_at[item["job"]] - item["submitted_at"]
+        sojourns[entry["kind"]].append(sojourn)
+        job_rows.append(
+            {
+                "job": item["job"],
+                "kind": entry["kind"],
+                "owner": entry["owner"],
+                "cost": summary["cost"],
+                "serial_identical_optimum": True,
+                "queue_wait_seconds": round(
+                    summary["queue_wait_seconds"], 4
+                ),
+                "sojourn_seconds": round(sojourn, 4),
+            }
+        )
+
+    def _mean(values: List[float]) -> Optional[float]:
+        return round(sum(values) / len(values), 4) if values else None
+
+    return {
+        "policy": policy,
+        "workers": workers,
+        "jobs": len(submitted),
+        "wall_seconds": round(wall_seconds, 4),
+        "jobs_per_hour": round(3600.0 * len(submitted) / wall_seconds, 2),
+        "mean_queue_wait_seconds": _mean(
+            [row["queue_wait_seconds"] for row in job_rows]
+        ),
+        "mean_sojourn_small": _mean(sojourns["small"]),
+        "mean_sojourn_large": _mean(sojourns["large"]),
+        "work_allocations": report.work_allocations,
+        "requests_idled": report.requests_idled,
+        "job_rows": job_rows,
+    }
+
+
+def run_benchmark(quick: bool = False, seed: int = 2027) -> Dict[str, Any]:
+    """Poisson job stream over the service; all optima asserted."""
+    catalog = _catalog(quick)
+    worker_counts = [1, 2] if quick else [1, 2, 4]
+    mean_gap = 0.2 if quick else 0.1
+
+    runs = []
+    for workers in worker_counts:
+        for policy in ("fifo", "fair"):
+            runs.append(
+                _run_config(catalog, workers, policy, mean_gap, seed)
+            )
+
+    # The headline comparison: at the largest fleet, what did fair
+    # share buy the small jobs relative to FIFO?
+    biggest = worker_counts[-1]
+    by_policy = {
+        run["policy"]: run
+        for run in runs
+        if run["workers"] == biggest
+    }
+    split = {
+        "workers": biggest,
+        "fifo_mean_sojourn_small": by_policy["fifo"]["mean_sojourn_small"],
+        "fair_mean_sojourn_small": by_policy["fair"]["mean_sojourn_small"],
+        "fifo_mean_sojourn_large": by_policy["fifo"]["mean_sojourn_large"],
+        "fair_mean_sojourn_large": by_policy["fair"]["mean_sojourn_large"],
+        "fifo_mean_queue_wait": by_policy["fifo"][
+            "mean_queue_wait_seconds"
+        ],
+        "fair_mean_queue_wait": by_policy["fair"][
+            "mean_queue_wait_seconds"
+        ],
+    }
+
+    return {
+        "pr": 9,
+        "benchmark": (
+            "multi-tenant service throughput: Poisson job stream over "
+            "one shared fleet, fifo vs fair share"
+        ),
+        "command": "make bench-service",
+        "quick": quick,
+        "host_cpus": os.cpu_count(),
+        "seed": seed,
+        "workload": {
+            "jobs": len(catalog),
+            "mean_arrival_gap_seconds": mean_gap,
+            "mix": [
+                {
+                    "kind": entry["kind"],
+                    "instance": entry["instance"].name,
+                    "serial_cost": entry["serial_cost"],
+                    "owner": entry["owner"],
+                }
+                for entry in catalog
+            ],
+        },
+        "runs": runs,
+        "wait_time_split": split,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small mix, 1/2 workers (the CI smoke configuration)",
+    )
+    parser.add_argument("--seed", type=int, default=2027)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help=f"output JSON path (default: {DEFAULT_OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_benchmark(quick=args.quick, seed=args.seed)
+    output = args.output or DEFAULT_OUTPUT
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(f"wrote {output}")
+    for run in payload["runs"]:
+        print(
+            f"  {run['policy']:<4} x{run['workers']} workers: "
+            f"{run['jobs_per_hour']:>8.1f} jobs/h  "
+            f"wait {run['mean_queue_wait_seconds']}s  "
+            f"small-job sojourn {run['mean_sojourn_small']}s"
+        )
+    split = payload["wait_time_split"]
+    print(
+        f"  fair vs fifo small-job sojourn at x{split['workers']}: "
+        f"{split['fair_mean_sojourn_small']}s vs "
+        f"{split['fifo_mean_sojourn_small']}s"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,11 @@ Commands
     Run the farmer–worker runtime over real TCP: a standalone
     coordinator server, and workers that connect to it by address
     (two terminals on one machine, or many machines).
+``repro grid service`` / ``repro job ...``
+    The multi-tenant front door: one job-queue service multiplexing
+    many concurrent solves over a shared worker fleet, and the client
+    verbs (``submit``/``status``/``result``/``cancel``/``list``) that
+    talk to it (see ``docs/service.md``).
 ``repro tables``
     Print the paper's static tables (1 and 3).
 ``repro taillard``
@@ -223,6 +228,48 @@ def build_parser() -> argparse.ArgumentParser:
                                "reconnect backoff")
     _add_kernel_arguments(worker_p)
 
+    service_p = grid_sub.add_parser(
+        "service",
+        help="run the multi-tenant job-queue service (many concurrent "
+             "solves over one shared worker fleet)",
+    )
+    service_p.add_argument("--host", default="127.0.0.1")
+    service_p.add_argument("--port", type=int, default=4716,
+                           help="0 picks a free port (printed at startup)")
+    service_p.add_argument("--policy", choices=["fifo", "fair"],
+                           default="fair",
+                           help="grant policy across runnable jobs")
+    service_p.add_argument("--max-running", type=_positive_int, default=4,
+                           help="jobs allowed in the running set at once")
+    service_p.add_argument("--max-queued", type=_positive_int, default=64,
+                           help="admission control: refuse submits beyond "
+                                "this queue depth")
+    service_p.add_argument("--max-per-owner", type=_positive_int, default=2,
+                           help="running jobs any single owner may hold")
+    service_p.add_argument("--deadline", type=float, default=None,
+                           help="abort after this many wall seconds")
+    service_p.add_argument("--lease-seconds", type=float, default=30.0,
+                           help="presume a silent worker dead after this "
+                                "long")
+    service_p.add_argument("--checkpoint-dir", default=None,
+                           help="durable per-job checkpoints; required for "
+                                "--resume")
+    service_p.add_argument("--checkpoint-period", type=float, default=2.0)
+    service_p.add_argument("--resume", action="store_true",
+                           help="recover every persisted job from "
+                                "--checkpoint-dir before serving")
+    service_p.add_argument("--no-journal", action="store_true",
+                           help="disable the per-job reconciliation journal")
+    service_p.add_argument("--idle-retry", type=float, default=0.25,
+                           help="back-off hint sent to workers when no job "
+                                "has work")
+    service_p.add_argument("--linger-seconds", type=float, default=10.0)
+    service_p.add_argument("--drain-when-idle", action="store_true",
+                           help="exit once every submitted job has settled "
+                                "(default: serve forever)")
+    service_p.add_argument("--report-json", default=None, metavar="PATH",
+                           help="write the final ServiceReport as JSON")
+
     fleet_p = grid_sub.add_parser(
         "fleet",
         help="supervise N worker subprocesses against one server",
@@ -248,6 +295,55 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_p.add_argument("--deadline", type=float, default=None,
                          help="stop supervising after this many seconds")
     _add_kernel_arguments(fleet_p)
+
+    job_p = sub.add_parser(
+        "job", help="talk to a running `repro grid service`"
+    )
+    job_p.add_argument("--connect", default="127.0.0.1:4716",
+                       metavar="HOST:PORT", help="service address")
+    job_p.add_argument("--timeout", type=float, default=30.0,
+                       help="per-RPC timeout (seconds)")
+    job_sub = job_p.add_subparsers(dest="job_command", required=True)
+
+    submit_p = job_sub.add_parser("submit", help="enqueue one solve")
+    submit_p.add_argument("--problem", choices=["flowshop", "tsp"],
+                          default="flowshop")
+    submit_p.add_argument("--jobs", type=int, default=9,
+                          help="flow-shop jobs")
+    submit_p.add_argument("--machines", type=int, default=4)
+    submit_p.add_argument("--seed", type=int, default=1)
+    submit_p.add_argument("--taillard", type=int, default=None,
+                          metavar="INDEX")
+    submit_p.add_argument("--bound", choices=["lb1", "lb2", "combined"],
+                          default="combined")
+    submit_p.add_argument("--cities", type=int, default=8,
+                          help="TSP cities")
+    submit_p.add_argument("--priority", type=_positive_int, default=1,
+                          help="fair-share weight (higher = larger share)")
+    submit_p.add_argument("--owner", default="anonymous",
+                          help="fair-share / per-owner-cap accounting key")
+    submit_p.add_argument("--wait", action="store_true",
+                          help="block until the job settles and print its "
+                               "result")
+
+    status_p = job_sub.add_parser("status", help="one status snapshot")
+    status_p.add_argument("job_id")
+
+    result_p = job_sub.add_parser(
+        "result", help="poll until the job settles, then print it"
+    )
+    result_p.add_argument("job_id")
+    result_p.add_argument("--poll-interval", type=float, default=0.5)
+    result_p.add_argument("--wait-timeout", type=float, default=None,
+                          help="give up polling after this many seconds")
+
+    cancel_p = job_sub.add_parser("cancel", help="cancel a queued or "
+                                                 "running job")
+    cancel_p.add_argument("job_id")
+
+    list_p = job_sub.add_parser("list", help="list jobs the service knows")
+    list_p.add_argument("--owner", default="",
+                        help="only this owner's jobs")
 
     sub.add_parser("tables", help="print the static tables (1 and 3)")
 
@@ -453,6 +549,8 @@ def _cmd_report(args) -> int:
 def _cmd_grid(args) -> int:
     if args.grid_command == "serve":
         return _cmd_grid_serve(args)
+    if args.grid_command == "service":
+        return _cmd_grid_service(args)
     if args.grid_command == "fleet":
         return _cmd_grid_fleet(args)
     return _cmd_grid_worker(args)
@@ -543,6 +641,145 @@ def _write_serve_result(path_text: str, result) -> None:
         "worker_stats": result.worker_stats,
     }
     Path(path_text).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def _cmd_grid_service(args) -> int:
+    from pathlib import Path
+
+    from repro.grid.service.scheduler import SchedulerConfig
+    from repro.grid.service.server import ServiceConfig, SolveService
+
+    service = SolveService(
+        ServiceConfig(
+            host=args.host,
+            port=args.port,
+            checkpoint_dir=(
+                Path(args.checkpoint_dir) if args.checkpoint_dir else None
+            ),
+            checkpoint_period=args.checkpoint_period,
+            deadline=args.deadline,
+            lease_seconds=args.lease_seconds,
+            linger_seconds=args.linger_seconds,
+            resume=args.resume,
+            journal=not args.no_journal,
+            scheduler=SchedulerConfig(
+                policy=args.policy,
+                max_running_jobs=args.max_running,
+                max_queued_jobs=args.max_queued,
+                max_running_per_owner=args.max_per_owner,
+            ),
+            idle_retry_after=args.idle_retry,
+            drain_when_idle=args.drain_when_idle,
+        )
+    )
+    host, port = service.address
+    if args.resume:
+        print(f"resumed {len(service.jobs)} job(s) from "
+              f"{args.checkpoint_dir} (epoch {service.epoch})")
+    print(f"service on {host}:{port} ({args.policy} policy) — "
+          f"submit with:")
+    print(f"  repro job --connect {host}:{port} submit ...")
+    print(f"  repro grid worker --connect {host}:{port}")
+    report = service.serve_forever()
+    print(f"served {len(report.jobs)} job(s) in {report.wall_seconds:.1f}s: "
+          f"{report.jobs_completed} done, {report.jobs_failed} failed, "
+          f"{report.jobs_cancelled} cancelled "
+          f"(allocations={report.work_allocations} "
+          f"idled={report.requests_idled})")
+    if args.report_json:
+        _write_service_report(args.report_json, report)
+    return 0 if not report.aborted and report.jobs_failed == 0 else 1
+
+
+def _write_service_report(path_text: str, report) -> None:
+    import json
+    from dataclasses import asdict
+    from pathlib import Path
+
+    payload = asdict(report)
+    for summary in payload["jobs"].values():
+        if summary.get("cost") == math.inf:
+            summary["cost"] = None
+    Path(path_text).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def _job_spec_from_args(args):
+    if args.problem == "tsp":
+        from repro.grid.runtime import tsp_spec
+        from repro.problems.tsp import random_tsp
+
+        return tsp_spec(random_tsp(args.cities, seed=args.seed))
+    from repro.grid.runtime import flowshop_spec
+    from repro.problems.flowshop import random_instance, taillard_instance
+
+    if args.taillard is not None:
+        instance = taillard_instance(args.jobs, args.machines, args.taillard)
+    else:
+        instance = random_instance(args.jobs, args.machines, args.seed)
+    return flowshop_spec(instance, bound=args.bound)
+
+
+def _print_job_status(status) -> None:
+    line = f"job {status.job}: {status.status}"
+    if status.status in ("running", "done"):
+        cost = "inf" if math.isinf(status.best_cost) else status.best_cost
+        line += f" cost={cost} nodes={status.nodes}"
+    if status.status == "done" and status.solution is not None:
+        line += f" solution={list(status.solution)}"
+    if status.error:
+        line += f" error={status.error!r}"
+    print(line)
+
+
+def _cmd_job(args) -> int:
+    from repro.grid.service.client import JobRefusedError, SyncServiceClient
+
+    host, _, port_text = args.connect.rpartition(":")
+    if not host or not port_text.isdigit():
+        print(f"--connect must be HOST:PORT, got {args.connect!r}",
+              file=sys.stderr)
+        return 2
+    client = SyncServiceClient(host, int(port_text), timeout=args.timeout)
+
+    if args.job_command == "submit":
+        spec = _job_spec_from_args(args)
+        try:
+            job_id = client.submit(
+                spec, priority=args.priority, owner=args.owner
+            )
+        except JobRefusedError as refusal:
+            print(f"refused: {refusal}", file=sys.stderr)
+            return 1
+        print(job_id)
+        if args.wait:
+            status = client.result(job_id)
+            _print_job_status(status)
+            return 0 if status.status == "done" else 1
+        return 0
+    if args.job_command == "status":
+        _print_job_status(client.status(args.job_id))
+        return 0
+    if args.job_command == "result":
+        status = client.result(
+            args.job_id,
+            poll_interval=args.poll_interval,
+            timeout=args.wait_timeout,
+        )
+        _print_job_status(status)
+        return 0 if status.status == "done" else 1
+    if args.job_command == "cancel":
+        _print_job_status(client.cancel(args.job_id))
+        return 0
+    summaries = client.list_jobs(owner=args.owner)
+    for summary in summaries:
+        cost = summary.get("cost")
+        cost_text = "-" if cost is None or cost == math.inf else cost
+        print(f"{summary['job']}  {summary['status']:<9} "
+              f"owner={summary['owner']} priority={summary['priority']} "
+              f"cost={cost_text}")
+    if not summaries:
+        print("(no jobs)")
+    return 0
 
 
 def _cmd_grid_worker(args) -> int:
@@ -672,6 +909,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "simulate": _cmd_simulate,
         "p2p": _cmd_p2p,
         "grid": _cmd_grid,
+        "job": _cmd_job,
         "report": _cmd_report,
         "tables": _cmd_tables,
         "taillard": _cmd_taillard,

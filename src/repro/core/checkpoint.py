@@ -39,6 +39,7 @@ __all__ = [
     "CheckpointJournal",
     "CheckpointStore",
     "JournalRecord",
+    "MultiJobStore",
     "RecoveredState",
 ]
 
@@ -503,6 +504,133 @@ class CheckpointStore:
                 f"checkpoint {path} has unsupported format: "
                 f"{payload.get('version') if isinstance(payload, dict) else payload!r}"
             )
+
+
+class MultiJobStore:
+    """Durable layout for the multi-tenant solve service.
+
+    One service directory fans out into per-job checkpoint stores::
+
+        <directory>/
+            epoch.json            service incarnation counter
+            jobs/<job-id>/
+                meta.json         spec + status + owner + priority
+                intervals.json    ┐
+                solution.json     │ one CheckpointStore per job
+                journal.log       ┘
+
+    Each job keeps the full crash-only machinery of
+    :class:`CheckpointStore` — generation-stamped snapshot pairs plus
+    the reconciliation journal — so recovering the service is just
+    recovering every job.  ``meta.json`` is written atomically through
+    the same path as the snapshots; status transitions are durable the
+    moment :meth:`save_meta` returns.
+
+    Job ids are opaque strings but they double as directory names, so
+    the store only accepts filesystem-safe ids (hex uuids qualify).
+    """
+
+    def __init__(self, directory: Path):
+        self.directory = Path(directory)
+        self._stores: Dict[str, CheckpointStore] = {}
+
+    @property
+    def jobs_root(self) -> Path:
+        return self.directory / "jobs"
+
+    @property
+    def epoch_path(self) -> Path:
+        return self.directory / "epoch.json"
+
+    @staticmethod
+    def _check_id(job_id: str) -> str:
+        if not job_id or not all(
+            c.isalnum() or c in "._-" for c in job_id
+        ) or job_id.startswith("."):
+            raise CheckpointError(
+                f"job id {job_id!r} is not filesystem-safe"
+            )
+        return job_id
+
+    def job_dir(self, job_id: str) -> Path:
+        return self.jobs_root / self._check_id(job_id)
+
+    def job_store(self, job_id: str) -> CheckpointStore:
+        """The per-job :class:`CheckpointStore` (cached per id)."""
+        store = self._stores.get(job_id)
+        if store is None:
+            store = CheckpointStore(self.job_dir(job_id))
+            self._stores[job_id] = store
+        return store
+
+    def job_ids(self) -> List[str]:
+        """Every job with an on-disk directory, in stable (name) order."""
+        try:
+            entries = sorted(p.name for p in self.jobs_root.iterdir() if p.is_dir())
+        except FileNotFoundError:
+            return []
+        return entries
+
+    # ------------------------------------------------------------------
+    # per-job metadata (spec, status, owner, priority, result)
+    # ------------------------------------------------------------------
+    def save_meta(self, job_id: str, meta: Dict[str, Any]) -> None:
+        """Atomically persist one job's metadata document."""
+        payload = dict(meta, version=_FORMAT_VERSION)
+        _atomic_write_json(self.job_dir(job_id) / "meta.json", payload)
+
+    def load_meta(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """The job's metadata, or ``None`` when it was never written."""
+        try:
+            payload = _read_json(self.job_dir(job_id) / "meta.json")
+        except FileNotFoundError:
+            return None
+        if not isinstance(payload, dict):
+            raise CheckpointError(
+                f"malformed job metadata for {job_id!r}: {payload!r}"
+            )
+        payload.pop("crc", None)
+        payload.pop("version", None)
+        return payload
+
+    # ------------------------------------------------------------------
+    # service epoch (same contract as CheckpointStore's)
+    # ------------------------------------------------------------------
+    def read_epoch(self) -> int:
+        try:
+            payload = _read_json(self.epoch_path)
+        except (FileNotFoundError, CheckpointError):
+            return 0
+        if isinstance(payload, dict) and isinstance(payload.get("epoch"), int):
+            return payload["epoch"]
+        return 0
+
+    def bump_epoch(self) -> int:
+        epoch = self.read_epoch() + 1
+        _atomic_write_json(
+            self.epoch_path, {"version": _FORMAT_VERSION, "epoch": epoch}
+        )
+        return epoch
+
+    def clear(self) -> None:
+        """Remove every job directory and the epoch file."""
+        for job_id in self.job_ids():
+            store = self.job_store(job_id)
+            store.clear()
+            meta = store.directory / "meta.json"
+            try:
+                meta.unlink()
+            except FileNotFoundError:
+                pass
+            try:
+                store.directory.rmdir()
+            except OSError:
+                pass
+        self._stores.clear()
+        try:
+            self.epoch_path.unlink()
+        except FileNotFoundError:
+            pass
 
 
 def _jsonable_solution(solution: Any) -> Any:

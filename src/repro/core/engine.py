@@ -915,8 +915,16 @@ def solve(
     ``frontier="wave"`` (with its ``frontier_width`` memory cap) fills
     those pools from same-depth exploration waves instead of the DFS
     stack — same optimum and proof, wider kernel calls.
+
+    A problem-supplied :meth:`Problem.warm_start` heuristic seeds the
+    incumbent as well; the incumbent is monotonic, so whichever of the
+    warm start and ``initial_upper_bound`` is better wins, and a warm
+    start can only speed the proof up, never change the optimum.
     """
     incumbent = Incumbent(initial_upper_bound, initial_solution)
+    warm = problem.warm_start()
+    if warm is not None:
+        incumbent.update(*warm)
     explorer = IntervalExplorer(
         problem,
         interval,

@@ -17,7 +17,7 @@ hosts.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Optional, Sequence
+from typing import Any, Optional, Sequence, Tuple
 
 from repro.core.tree import TreeShape
 
@@ -91,6 +91,24 @@ class Problem(ABC):
         incremental caches should override to strip them.
         """
         return state
+
+    def warm_start(self) -> Optional[Tuple[float, Any]]:
+        """Optional heuristic incumbent ``(cost, solution)`` to seed solves.
+
+        Consulted by :func:`~repro.core.engine.solve`, the
+        :class:`~repro.core.resumable.ResumableSolver` and the grid
+        service before exploration begins.  ``cost`` must be the exact
+        cost of a *feasible* ``solution`` (the incumbent's solution may
+        be reported as the optimum if nothing beats it), so a roll-out
+        or greedy heuristic qualifies; a mere estimate does not.
+        Because B&B only prunes subtrees whose bound reaches the
+        incumbent and bounds are admissible, a valid warm start can
+        never change the proved optimum — only how fast it is reached
+        (property-tested in ``tests/test_warm_start.py``).
+
+        Default: ``None`` (no heuristic — exploration starts cold).
+        """
+        return None
 
     # ------------------------------------------------------------------
     # conveniences shared by all problems

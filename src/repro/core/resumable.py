@@ -94,6 +94,12 @@ class ResumableSolver:
             self.progress.resumed_from = interval
         if incumbent is None:
             incumbent = Incumbent(initial_upper_bound, initial_solution)
+        # A problem-supplied warm start seeds (or tightens) the
+        # incumbent; monotonic update, so a checkpointed bound that is
+        # already better survives and the proved optimum is unchanged.
+        warm = problem.warm_start()
+        if warm is not None:
+            incumbent.update(*warm)
         self.explorer = IntervalExplorer(
             problem,
             interval,

@@ -28,7 +28,7 @@ decode as tuples again — the encode/decode round trip is the identity
 on every protocol message, which ``tests/test_net_framing.py`` pins
 with an exhaustive hypothesis property.
 
-Besides the eight runtime protocol messages, three transport-level
+Besides the runtime and job-service protocol messages, three transport-level
 messages ride the same framing: :class:`Hello` (a client identifies
 its worker id when (re)connecting), :class:`Welcome` (the server's
 answer, optionally carrying the run's :class:`ProblemSpec` in wire
@@ -49,10 +49,22 @@ from typing import Any, Dict, List, Optional
 from repro.grid.runtime.protocol import (
     Ack,
     Bye,
+    CancelJob,
     GrantWork,
+    Idle,
+    JobAccepted,
+    JobGrant,
+    JobList,
+    JobPush,
+    JobRefused,
+    JobStatus,
+    JobStatusRequest,
+    JobUpdate,
+    ListJobs,
     Push,
     Reconciled,
     Request,
+    SubmitJob,
     Terminate,
     Update,
 )
@@ -149,6 +161,18 @@ _WIRE_TYPES = {
         Reconciled,
         Ack,
         Terminate,
+        JobGrant,
+        JobUpdate,
+        JobPush,
+        Idle,
+        SubmitJob,
+        JobAccepted,
+        JobRefused,
+        JobStatusRequest,
+        JobStatus,
+        CancelJob,
+        ListJobs,
+        JobList,
         Hello,
         Welcome,
         Heartbeat,

@@ -37,7 +37,6 @@ from repro.grid.net.tcp import TcpClientConnection, TcpListener
 from repro.grid.net.transport import (
     Connection,
     Connector,
-    TransportError,
     TransportTimeout,
 )
 from repro.grid.runtime.bbprocess import worker_main
@@ -310,12 +309,11 @@ def run_worker(
         connection.open(timeout=connect_timeout)
         if spec is None:
             welcome = connection.welcome
-            if welcome is None or welcome.spec is None:
-                raise TransportError(
-                    f"server at {host}:{port} did not provide a problem "
-                    f"spec; pass one explicitly"
-                )
-            spec = spec_from_wire(welcome.spec)
+            if welcome is not None and welcome.spec is not None:
+                spec = spec_from_wire(welcome.spec)
+            # A spec-less Welcome is the multi-tenant service: every
+            # JobGrant carries its job's spec, so the worker starts
+            # with none and learns problems per grant.
     except Exception:
         connection.close()
         raise

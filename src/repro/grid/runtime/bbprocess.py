@@ -60,6 +60,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.engine import IntervalExplorer
 from repro.core.interval import Interval
+from repro.core.problem import Problem
 from repro.core.stats import Incumbent
 from repro.grid.net.backoff import decorrelated_jitter
 from repro.grid.net.transport import Connection, Connector, TransportError
@@ -68,12 +69,17 @@ from repro.grid.runtime.protocol import (
     Ack,
     Bye,
     GrantWork,
+    Idle,
+    JobGrant,
+    JobPush,
+    JobUpdate,
     ProblemSpec,
     Push,
     Reconciled,
     Request,
     Terminate,
     Update,
+    spec_from_wire,
 )
 
 __all__ = ["AdaptiveSlicer", "worker_main"]
@@ -250,7 +256,7 @@ class _RpcChannel:
 
 def worker_main(
     worker_id: str,
-    spec: ProblemSpec,
+    spec: Optional[ProblemSpec],
     connector: Connector,
     update_nodes: int = 2000,
     power: float = 1.0,
@@ -306,6 +312,14 @@ def worker_main(
     the space empty), ``"gave-up"`` (the retry budget expired against
     an unreachable coordinator) or ``"crash"`` (a fault hook fired).
     Process supervisors respawn anything but a clean ``"terminate"``.
+
+    Against the multi-tenant solve service the same loop serves *many*
+    jobs: grants arrive as :class:`JobGrant` (carrying an opaque job id
+    plus the job's spec in wire form), the worker keeps one built
+    problem and one local incumbent per job id, tags its traffic with
+    the grant's id, and sleeps through :class:`Idle` replies when no
+    job has work.  ``spec`` may then be ``None`` — the fleet learns
+    every problem from its grants.
     """
     connection = connector.connect(worker_id)
     try:
@@ -338,7 +352,7 @@ def worker_main(
 
 def _worker_loop(
     worker_id: str,
-    spec: ProblemSpec,
+    spec: Optional[ProblemSpec],
     connection: Connection,
     *,
     update_nodes: int,
@@ -360,18 +374,31 @@ def _worker_loop(
     frontier: str = "dfs",
     frontier_width: int = 32768,
 ) -> str:
-    problem = spec.build()
+    # One built problem per job id; "" is the classic single-job run
+    # whose problem came in over ``spec``.  The multi-tenant service
+    # repeats a job's spec on every JobGrant, so a fleet worker builds
+    # (and caches) each problem the first time it meets the job.
+    problems: Dict[str, Problem] = {}
+    if spec is not None:
+        problems[""] = spec.build()
     stats_total: Dict[str, float] = {
         "nodes": 0,
         "updates": 0,
         "allocations": 0,
         "improvements": 0,
+        "idles": 0,
         "epoch_resyncs": 0,
         "explore_seconds": 0.0,
         "rpc_wait_seconds": 0.0,
     }
     updates_sent = 0
-    best = {"cost": float("inf"), "solution": None}
+    # Per-job local incumbents: a bound proved for one job must never
+    # prune another job's tree.
+    bests: Dict[str, Dict[str, Any]] = {}
+
+    def best_for(job: str) -> Dict[str, Any]:
+        return bests.setdefault(job, {"cost": float("inf"), "solution": None})
+
     chan = _RpcChannel(
         connection,
         reply_timeout,
@@ -390,11 +417,26 @@ def _worker_loop(
     def shared_cost() -> float:
         return shared_bound.read() if shared_bound is not None else math.inf
 
-    def reinform_if_stale(global_best: float) -> None:
+    def push_message(job: str, cost: float, solution: Any) -> Any:
+        if job:
+            return JobPush(worker_id, job, cost, solution)
+        return Push(worker_id, cost, solution)
+
+    def update_message(
+        job: str, interval: Tuple[int, int], nodes: int, consumed: int
+    ) -> Any:
+        if job:
+            return JobUpdate(
+                worker_id, job, interval, nodes=nodes, consumed=consumed
+            )
+        return Update(worker_id, interval, nodes=nodes, consumed=consumed)
+
+    def reinform_if_stale(job: str, global_best: float) -> None:
         # The coordinator believes something worse than our local best
         # (it recovered from an old checkpoint): push ours again.
+        best = best_for(job)
         if best["solution"] is not None and global_best > best["cost"]:
-            chan.call(Push(worker_id, best["cost"], best["solution"]))
+            chan.call(push_message(job, best["cost"], best["solution"]))
 
     def maybe_inject_fault() -> bool:
         """Apply the per-update fault hooks; True means exit now."""
@@ -419,13 +461,38 @@ def _worker_loop(
             return "gave-up"
         if isinstance(reply, Terminate):
             break
+        if isinstance(reply, Idle):
+            # The service has no runnable slice right now; the fleet
+            # outlives any one job, so nap and ask again.
+            stats_total["idles"] += 1
+            time.sleep(min(max(reply.retry_after, 0.01), 30.0))
+            continue
         # A Grant claimed from a just-restarted coordinator is already
         # a fresh reconciliation; consume the flag so the first slice
         # boundary is not forced synchronous for nothing.
         connection.take_epoch_change()
-        assert isinstance(reply, GrantWork)
+        if isinstance(reply, JobGrant):
+            job = reply.job
+            problem = problems.get(job)
+            if problem is None:
+                if reply.spec is None:
+                    raise TransportError(
+                        f"grant for unknown job {job!r} carried no spec"
+                    )
+                problem = spec_from_wire(reply.spec).build()
+                problems[job] = problem
+        else:
+            assert isinstance(reply, GrantWork)
+            job = ""
+            problem = problems.get("")
+            if problem is None:
+                raise TransportError(
+                    "coordinator granted work but no problem spec was "
+                    "configured (pass one, or use a job-aware server)"
+                )
+        best = best_for(job)
         stats_total["allocations"] += 1
-        reinform_if_stale(reply.best_cost)
+        reinform_if_stale(job, reply.best_cost)
         interval = Interval.from_tuple(reply.interval)
         improvements: List[Tuple[float, Any]] = []
 
@@ -470,7 +537,7 @@ def _worker_loop(
             if isinstance(reconciled, Terminate):
                 return "terminate"
             assert isinstance(reconciled, Reconciled)
-            reinform_if_stale(reconciled.best_cost)
+            reinform_if_stale(job, reconciled.best_cost)
             explorer.apply_interval(Interval.from_tuple(reconciled.interval))
             explorer.set_upper_bound(reconciled.best_cost, None)
             return "ok"
@@ -513,7 +580,7 @@ def _worker_loop(
                 stats_total["epoch_resyncs"] += 1
                 if best["solution"] is not None:
                     ack = chan.call(
-                        Push(worker_id, best["cost"], best["solution"])
+                        push_message(job, best["cost"], best["solution"])
                     )
                     if ack is None:
                         return "gave-up"
@@ -526,15 +593,15 @@ def _worker_loop(
                 stats_total["improvements"] += 1
                 if cost < best["cost"]:
                     best["cost"], best["solution"] = cost, solution
-                ack = chan.call(Push(worker_id, cost, solution))
+                ack = chan.call(push_message(job, cost, solution))
                 if ack is None:
                     return "gave-up"
                 if isinstance(ack, Ack):
                     explorer.set_upper_bound(ack.best_cost, None)
 
             chan.send(
-                Update(
-                    worker_id,
+                update_message(
+                    job,
                     explorer.remaining_interval().as_tuple(),
                     nodes=report.nodes_processed,
                     consumed=consumed,

@@ -46,6 +46,18 @@ __all__ = [
     "Reconciled",
     "Ack",
     "Terminate",
+    "JobGrant",
+    "JobUpdate",
+    "JobPush",
+    "Idle",
+    "SubmitJob",
+    "JobAccepted",
+    "JobRefused",
+    "JobStatusRequest",
+    "JobStatus",
+    "CancelJob",
+    "ListJobs",
+    "JobList",
 ]
 
 #: Wire-format version stamped on every message.
@@ -237,5 +249,165 @@ class Ack:
 @dataclass
 class Terminate:
     best_cost: float
+    seq: int = 0
+    version: int = PROTOCOL_VERSION
+
+
+# ----------------------------------------------------------------------
+# multi-tenant service: job-tagged worker traffic
+# ----------------------------------------------------------------------
+# The solve service multiplexes many jobs over one worker fleet.  A
+# worker stays a dumb interval-explorer: it sends the same Request it
+# always sent, but the service answers with a :class:`JobGrant` — a
+# GrantWork stamped with an opaque job id plus the job's problem spec
+# in wire form — and the worker tags its Update/Push traffic for that
+# slice with the same id so the service can route each message to the
+# right job ledger.  Job ids are *opaque strings* (rule RC11): equality
+# only, never arithmetic or ordering.
+
+
+@dataclass
+class JobGrant:
+    """A work slice from one job of many.
+
+    ``spec`` repeats the job's problem recipe on every grant so the
+    exchange stays stateless: a worker that has never seen the job (or
+    that restarted since) can rebuild the problem without a second
+    round trip.  Workers cache built problems per job id.
+    """
+
+    job: str
+    interval: Tuple[int, int]
+    best_cost: float
+    spec: Optional[Dict[str, Any]] = None
+    seq: int = 0
+    version: int = PROTOCOL_VERSION
+
+
+@dataclass
+class JobUpdate:
+    """An :class:`Update` tagged with the job the slice belongs to."""
+
+    worker: str
+    job: str
+    interval: Tuple[int, int]
+    nodes: int
+    consumed: int
+    seq: int = 0
+    version: int = PROTOCOL_VERSION
+
+
+@dataclass
+class JobPush:
+    """A :class:`Push` tagged with the job the solution belongs to."""
+
+    worker: str
+    job: str
+    cost: float
+    solution: Any
+    seq: int = 0
+    version: int = PROTOCOL_VERSION
+
+
+@dataclass
+class Idle:
+    """Reply to a Request when no job currently has work to hand out.
+
+    Unlike :class:`Terminate` this does not end the worker: the fleet
+    outlives any single job, so the worker sleeps ``retry_after``
+    seconds and asks again.
+    """
+
+    retry_after: float = 0.5
+    seq: int = 0
+    version: int = PROTOCOL_VERSION
+
+
+# ----------------------------------------------------------------------
+# multi-tenant service: client traffic
+# ----------------------------------------------------------------------
+# Clients speak the same framed transport as workers (Hello/Welcome,
+# then sequenced RPCs).  ``worker`` on a client request is the sender's
+# connection id — the field keeps its transport name so the service
+# routes replies through the same ``send(message.worker, reply)`` path
+# used for workers.
+
+
+@dataclass
+class SubmitJob:
+    worker: str
+    spec: Dict[str, Any]
+    priority: int = 1
+    owner: str = "anonymous"
+    seq: int = 0
+    version: int = PROTOCOL_VERSION
+
+
+@dataclass
+class JobAccepted:
+    job: str
+    seq: int = 0
+    version: int = PROTOCOL_VERSION
+
+
+@dataclass
+class JobRefused:
+    """Admission control said no (queue full, per-owner cap, bad spec)."""
+
+    reason: str
+    seq: int = 0
+    version: int = PROTOCOL_VERSION
+
+
+@dataclass
+class JobStatusRequest:
+    worker: str
+    job: str
+    seq: int = 0
+    version: int = PROTOCOL_VERSION
+
+
+@dataclass
+class JobStatus:
+    """Snapshot of one job's ledger.
+
+    ``status`` ∈ {queued, running, done, cancelled, failed, unknown};
+    ``solution`` is only populated once the job is done (it can be
+    large), and ``error`` only when it failed.
+    """
+
+    job: str
+    status: str
+    best_cost: float = float("inf")
+    solution: Any = None
+    owner: str = ""
+    priority: int = 1
+    nodes: int = 0
+    error: str = ""
+    seq: int = 0
+    version: int = PROTOCOL_VERSION
+
+
+@dataclass
+class CancelJob:
+    worker: str
+    job: str
+    seq: int = 0
+    version: int = PROTOCOL_VERSION
+
+
+@dataclass
+class ListJobs:
+    worker: str
+    owner: str = ""
+    seq: int = 0
+    version: int = PROTOCOL_VERSION
+
+
+@dataclass
+class JobList:
+    """Summaries (dicts mirroring :class:`JobStatus` sans solution)."""
+
+    jobs: List[Dict[str, Any]] = field(default_factory=list)
     seq: int = 0
     version: int = PROTOCOL_VERSION

@@ -1,0 +1,140 @@
+"""Slice scheduling and admission control across concurrent jobs.
+
+Two decisions live here, both pure functions over job records so they
+unit-test without a server:
+
+* **Admission / promotion** — whether a submit is accepted at all
+  (queue depth cap) and which queued job fills a freed running slot
+  (always oldest-first, skipping owners already at their running cap).
+* **Grant allocation** — which *running* job feeds the next hungry
+  worker.  ``"fifo"`` drains jobs strictly in admission order (the
+  whole fleet grinds one job, then the next); ``"fair"`` hands the
+  slice to the job with the smallest ``active_workers / priority``
+  share, so a priority-2 job holds twice the fleet of a priority-1
+  job at equilibrium and a newly promoted job (0 workers) always gets
+  fed first — weighted fair sharing without starvation.
+
+Job ids are opaque strings (rule RC11): every ordering in this module
+keys on the admission counter ``order`` or on worker counts, never on
+the id itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.grid.service.store import JobRecord
+
+__all__ = ["SchedulerConfig", "Scheduler", "POLICIES"]
+
+POLICIES = ("fifo", "fair")
+
+
+@dataclass
+class SchedulerConfig:
+    """Knobs of the multi-job allocator.
+
+    ``max_running_jobs`` bounds how many coordinators the service keeps
+    hot at once; ``max_queued_jobs`` bounds the backlog admission will
+    accept; ``max_running_per_owner`` keeps one tenant from occupying
+    every running slot.
+    """
+
+    policy: str = "fair"
+    max_running_jobs: int = 4
+    max_queued_jobs: int = 64
+    max_running_per_owner: int = 2
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICIES:
+            raise ValueError(
+                f"unknown scheduling policy {self.policy!r} "
+                f"(expected one of {POLICIES})"
+            )
+        if self.max_running_jobs < 1:
+            raise ValueError("max_running_jobs must be >= 1")
+        if self.max_queued_jobs < 1:
+            raise ValueError("max_queued_jobs must be >= 1")
+        if self.max_running_per_owner < 1:
+            raise ValueError("max_running_per_owner must be >= 1")
+
+
+class Scheduler:
+    """Stateless policy object: all inputs arrive per call."""
+
+    def __init__(self, config: Optional[SchedulerConfig] = None):
+        self.config = config or SchedulerConfig()
+
+    # ------------------------------------------------------------------
+    # admission control
+    # ------------------------------------------------------------------
+    def admission_error(
+        self, queued: Sequence[JobRecord], priority: int
+    ) -> Optional[str]:
+        """Why a submit must be refused, or ``None`` to accept it."""
+        if priority < 1:
+            return f"priority must be >= 1 (got {priority})"
+        if len(queued) >= self.config.max_queued_jobs:
+            return (
+                f"queue is full "
+                f"({len(queued)}/{self.config.max_queued_jobs} jobs)"
+            )
+        return None
+
+    def next_promotion(
+        self,
+        queued: Sequence[JobRecord],
+        running: Sequence[JobRecord],
+    ) -> Optional[JobRecord]:
+        """The queued job to promote into a free running slot, if any.
+
+        Promotion is always oldest-first regardless of grant policy —
+        fairness is applied at slice-grant time, where it is cheap to
+        revisit every pump tick; reordering the queue itself would
+        starve old submissions outright.
+        """
+        if len(running) >= self.config.max_running_jobs:
+            return None
+        owner_running = {}
+        for record in running:
+            owner_running[record.owner] = owner_running.get(record.owner, 0) + 1
+        for record in sorted(queued, key=lambda r: r.order):
+            if (
+                owner_running.get(record.owner, 0)
+                < self.config.max_running_per_owner
+            ):
+                return record
+        return None
+
+    # ------------------------------------------------------------------
+    # grant allocation
+    # ------------------------------------------------------------------
+    def pick_grant(
+        self, runnable: Sequence[Tuple[JobRecord, int]]
+    ) -> Optional[JobRecord]:
+        """Which running job serves the next worker Request.
+
+        ``runnable`` pairs each candidate record with its current
+        count of distinct active workers.  Returns ``None`` when no
+        job can take a worker (the server then answers ``Idle``).
+        """
+        if not runnable:
+            return None
+        if self.config.policy == "fifo":
+            return min(runnable, key=lambda item: item[0].order)[0]
+        # Weighted fair share: feed the job holding the smallest
+        # fraction of the fleet relative to its priority; admission
+        # order breaks ties so equal-share jobs drain oldest-first.
+        return min(
+            runnable,
+            key=lambda item: (item[1] / item[0].priority, item[0].order),
+        )[0]
+
+    def describe(self) -> str:
+        c = self.config
+        return (
+            f"{c.policy} (max_running={c.max_running_jobs}, "
+            f"max_queued={c.max_queued_jobs}, "
+            f"per_owner={c.max_running_per_owner})"
+        )

@@ -1,0 +1,213 @@
+"""The service's job ledger: queue state over the durable checkpoint API.
+
+A :class:`JobRecord` is everything the service knows about one job:
+its problem spec in wire form, owner, priority, status and — once the
+job settles — the proved result.  :class:`JobStore` keeps the records
+in memory and mirrors every transition into a
+:class:`~repro.core.checkpoint.MultiJobStore` when a checkpoint
+directory is configured, so the service is crash-only: a status is
+true the moment the meta write returns, and a restarted service
+rebuilds its whole queue from ``jobs/*/meta.json`` plus each running
+job's INTERVALS/SOLUTION snapshot pair.
+
+Job ids are **opaque strings** (rule RC11): the store mints them from
+``uuid4`` and orders jobs by their admission counter (``order``),
+never by id.
+"""
+
+from __future__ import annotations
+
+import time
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.core.checkpoint import CheckpointStore, MultiJobStore
+
+__all__ = [
+    "QUEUED",
+    "RUNNING",
+    "DONE",
+    "CANCELLED",
+    "FAILED",
+    "TERMINAL",
+    "JobRecord",
+    "JobStore",
+]
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+CANCELLED = "cancelled"
+FAILED = "failed"
+
+#: States a job never leaves.
+TERMINAL = frozenset({DONE, CANCELLED, FAILED})
+
+
+@dataclass
+class JobRecord:
+    """One job's durable state (mirrors ``jobs/<id>/meta.json``)."""
+
+    job_id: str
+    spec_wire: Dict[str, Any]
+    owner: str = "anonymous"
+    priority: int = 1
+    order: int = 0  # admission counter: the FIFO key (never the id)
+    status: str = QUEUED
+    submitted_at: float = 0.0  # wall clock, for operators reading meta
+    queue_wait_seconds: Optional[float] = None
+    cost: Optional[float] = None
+    solution: Any = None
+    error: str = ""
+    nodes_explored: int = 0
+
+    def is_terminal(self) -> bool:
+        return self.status in TERMINAL
+
+    def meta(self) -> Dict[str, Any]:
+        return {
+            "owner": self.owner,
+            "priority": self.priority,
+            "order": self.order,
+            "status": self.status,
+            "spec": dict(self.spec_wire),
+            "submitted_at": self.submitted_at,
+            "queue_wait_seconds": self.queue_wait_seconds,
+            "cost": self.cost,
+            "solution": list(self.solution)
+            if isinstance(self.solution, (list, tuple))
+            else self.solution,
+            "error": self.error,
+            "nodes_explored": self.nodes_explored,
+        }
+
+    @classmethod
+    def from_meta(cls, job_id: str, meta: Dict[str, Any]) -> "JobRecord":
+        solution = meta.get("solution")
+        if isinstance(solution, list):
+            solution = tuple(solution)
+        return cls(
+            job_id=job_id,
+            spec_wire=dict(meta.get("spec", {})),
+            owner=str(meta.get("owner", "anonymous")),
+            priority=int(meta.get("priority", 1)),
+            order=int(meta.get("order", 0)),
+            status=str(meta.get("status", QUEUED)),
+            submitted_at=float(meta.get("submitted_at", 0.0)),
+            queue_wait_seconds=meta.get("queue_wait_seconds"),
+            cost=meta.get("cost"),
+            solution=solution,
+            error=str(meta.get("error", "")),
+            nodes_explored=int(meta.get("nodes_explored", 0)),
+        )
+
+    def summary(self) -> Dict[str, Any]:
+        """The JSON-able shape :class:`~...protocol.JobList` carries."""
+        return {
+            "job": self.job_id,
+            "status": self.status,
+            "owner": self.owner,
+            "priority": self.priority,
+            "cost": self.cost,
+            "nodes": self.nodes_explored,
+            "error": self.error,
+        }
+
+
+class JobStore:
+    """In-memory job table mirrored into the durable multi-job layout.
+
+    With ``directory=None`` the store is purely in-memory (unit tests,
+    throwaway services); otherwise every :meth:`persist` is an atomic
+    ``meta.json`` write and :meth:`recover` reloads the full table.
+    """
+
+    def __init__(self, directory: Optional[Path] = None):
+        self.disk: Optional[MultiJobStore] = (
+            MultiJobStore(Path(directory)) if directory is not None else None
+        )
+        self._records: Dict[str, JobRecord] = {}
+        self._order_counter = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def create(
+        self,
+        spec_wire: Dict[str, Any],
+        owner: str = "anonymous",
+        priority: int = 1,
+        job_id: Optional[str] = None,
+    ) -> JobRecord:
+        """Admit one job (status ``queued``), durably."""
+        if job_id is None:
+            job_id = uuid.uuid4().hex[:12]
+        if job_id in self._records:
+            raise ValueError(f"job id {job_id!r} already exists")
+        self._order_counter += 1
+        record = JobRecord(
+            job_id=job_id,
+            spec_wire=dict(spec_wire),
+            owner=owner,
+            priority=priority,
+            order=self._order_counter,
+            submitted_at=time.time(),
+        )
+        self._records[job_id] = record
+        self.persist(record)
+        return record
+
+    def persist(self, record: JobRecord) -> None:
+        """Mirror the record's current state into ``meta.json``."""
+        if self.disk is not None:
+            self.disk.save_meta(record.job_id, record.meta())
+
+    def recover(self) -> List[JobRecord]:
+        """Reload every on-disk job; returns the recovered records."""
+        if self.disk is None:
+            return []
+        recovered: List[JobRecord] = []
+        for job_id in self.disk.job_ids():
+            meta = self.disk.load_meta(job_id)
+            if meta is None:
+                continue  # a crash between mkdir and the first meta write
+            record = JobRecord.from_meta(job_id, meta)
+            self._records[job_id] = record
+            recovered.append(record)
+            if record.order > self._order_counter:
+                self._order_counter = record.order
+        return recovered
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def get(self, job_id: str) -> Optional[JobRecord]:
+        return self._records.get(job_id)
+
+    def records(self) -> List[JobRecord]:
+        """Every record, in admission order."""
+        return sorted(self._records.values(), key=lambda r: r.order)
+
+    def in_status(self, *statuses: str) -> List[JobRecord]:
+        wanted = set(statuses)
+        return [r for r in self.records() if r.status in wanted]
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # ------------------------------------------------------------------
+    # durable plumbing
+    # ------------------------------------------------------------------
+    def checkpoint_store(self, job_id: str) -> Optional[CheckpointStore]:
+        """The job's own INTERVALS/SOLUTION store (None when in-memory)."""
+        if self.disk is None:
+            return None
+        return self.disk.job_store(job_id)
+
+    def bump_epoch(self) -> int:
+        """Advance the *service* epoch (0 for an in-memory store)."""
+        if self.disk is None:
+            return 0
+        return self.disk.bump_epoch()

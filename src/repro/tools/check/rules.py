@@ -25,6 +25,7 @@ __all__ = [
     "DurableCheckpointWrites",
     "LazyAcceleratorImports",
     "FrontierIntExactness",
+    "OpaqueJobIds",
 ]
 
 
@@ -473,7 +474,10 @@ class NoBlockingIOInAsync(Rule):
         "the listener's event loop services every peer; blocking calls "
         "freeze heartbeats fleet-wide"
     )
-    scope: ClassVar[Tuple[str, ...]] = ("repro/grid/net/*.py",)
+    scope: ClassVar[Tuple[str, ...]] = (
+        "repro/grid/net/*.py",
+        "repro/grid/service/*.py",
+    )
 
     #: module-level calls that always block
     BLOCKING_MODULE_CALLS: ClassVar[Dict[str, FrozenSet[str]]] = {
@@ -873,3 +877,83 @@ class FrontierIntExactness(Rule):
                         "float literal mixed into node-number "
                         "arithmetic",
                     )
+
+
+@register
+class OpaqueJobIds(Rule):
+    """RC11 — job ids are opaque tokens, never numbers.
+
+    The multi-tenant service (PR 9) identifies jobs by random hex
+    strings precisely so that nothing can *mean* anything: scheduling
+    order comes from the admission counter (``record.order``), fair
+    share from ``(active / priority)``, and recovery from the
+    directory listing.  The moment scheduler code does arithmetic on a
+    job id, orders by it, or coerces it to a number, submission order
+    leaks back in through the id generator and every fairness property
+    silently depends on how ids happen to sort.  Equality (routing a
+    message to its ledger) and hashing (dict keys) are the only
+    operations a job id supports.
+    """
+
+    code: ClassVar[str] = "RC11"
+    title: ClassVar[str] = "job ids are opaque"
+    invariant: ClassVar[str] = (
+        "scheduling never depends on how job ids sort or parse — "
+        "fairness comes from the admission counter and priorities "
+        "alone (PR 9 multi-tenant contract)"
+    )
+    scope: ClassVar[Tuple[str, ...]] = ("repro/grid/service/*.py",)
+
+    #: Names that hold job ids in the service modules by convention.
+    TAINTED: ClassVar[FrozenSet[str]] = frozenset(
+        {"job", "job_id", "jobs", "job_ids"}
+    )
+    ORDERING_CALLS: ClassVar[FrozenSet[str]] = frozenset(
+        {"sorted", "min", "max", "int", "float"}
+    )
+
+    @classmethod
+    def _tainted_name(cls, node: ast.AST) -> bool:
+        return isinstance(node, ast.Name) and node.id in cls.TAINTED
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.BinOp) and (
+                self._tainted_name(node.left)
+                or self._tainted_name(node.right)
+            ):
+                yield self.violation(
+                    ctx,
+                    node,
+                    "arithmetic on a job id — ids are opaque tokens; "
+                    "derive scheduling from record.order / priority",
+                )
+            elif isinstance(node, ast.Compare) and any(
+                self._tainted_name(op)
+                for op in [node.left, *node.comparators]
+            ):
+                if all(
+                    isinstance(op, (ast.Eq, ast.NotEq, ast.In, ast.NotIn, ast.Is, ast.IsNot))
+                    for op in node.ops
+                ):
+                    continue  # equality/membership is the id's one job
+                yield self.violation(
+                    ctx,
+                    node,
+                    "ordering comparison on a job id — ids are opaque; "
+                    "order by record.order, not by how ids sort",
+                )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in self.ORDERING_CALLS
+                and node.args
+                and self._tainted_name(node.args[0])
+            ):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"{node.func.id}() over job ids — ids are opaque "
+                    "tokens; any order or numeric reading of them is "
+                    "scheduler state leaking through the id generator",
+                )

@@ -1,0 +1,47 @@
+"""Smoke test for the PR 9 service benchmark (quick configuration).
+
+Runs the real benchmark end to end on the tiny mix: every job must
+prove its serial optimum under both policies, and the report must
+carry the fields BENCH_PR9.json promises.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parents[1] / "benchmarks"
+if str(BENCH_DIR) not in sys.path:
+    sys.path.insert(0, str(BENCH_DIR))
+
+from bench_service_throughput import run_benchmark  # noqa: E402
+
+
+def test_quick_benchmark_report_shape():
+    report = run_benchmark(quick=True)
+
+    assert report["pr"] == 9
+    assert report["quick"] is True
+    assert report["workload"]["jobs"] >= 4
+    kinds = {entry["kind"] for entry in report["workload"]["mix"]}
+    assert kinds == {"small", "large"}
+
+    configs = [(run["policy"], run["workers"]) for run in report["runs"]]
+    assert configs == [
+        ("fifo", 1), ("fair", 1), ("fifo", 2), ("fair", 2),
+    ]
+    for run in report["runs"]:
+        assert run["jobs"] == report["workload"]["jobs"]
+        assert run["jobs_per_hour"] > 0
+        assert run["wall_seconds"] > 0
+        # run_benchmark raises when any job misses its serial optimum;
+        # the per-job flags record that the check ran.
+        for row in run["job_rows"]:
+            assert row["serial_identical_optimum"] is True
+            assert row["sojourn_seconds"] >= 0
+            assert row["queue_wait_seconds"] >= 0
+
+    split = report["wait_time_split"]
+    assert split["workers"] == 2
+    assert split["fair_mean_sojourn_small"] is not None
+    assert split["fifo_mean_sojourn_small"] is not None

@@ -661,6 +661,74 @@ def test_rc10_scope_is_engine_and_resumable_only(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# RC11 — job ids are opaque
+
+
+def test_rc11_flags_ordering_and_arithmetic_on_job_ids(tmp_path):
+    result = run_check(
+        tmp_path,
+        "repro/grid/service/scheduler.py",
+        """\
+        def pick(jobs):
+            return sorted(jobs)[0]
+
+
+        def shard(job_id):
+            return int(job_id)
+
+
+        def newer(job, other):
+            return job > other
+
+
+        def successor(job):
+            return job + "-next"
+        """,
+        select=["RC11"],
+    )
+    assert codes(result) == ["RC11", "RC11", "RC11", "RC11"]
+    assert "opaque" in result.violations[0].message
+
+
+def test_rc11_equality_and_membership_pass(tmp_path):
+    result = run_check(
+        tmp_path,
+        "repro/grid/service/server.py",
+        """\
+        def route(job, coordinators):
+            if job in coordinators:
+                return coordinators[job]
+            return None
+
+
+        def same(job, job_id):
+            return job == job_id
+
+
+        def by_admission(records):
+            return sorted(records, key=lambda record: record.order)
+        """,
+        select=["RC11"],
+    )
+    assert result.clean
+
+
+def test_rc11_scope_is_the_service_package_only(tmp_path):
+    # The coordinator predates job ids; sorting *worker* ids there is
+    # someone else's business.
+    result = run_check(
+        tmp_path,
+        "repro/grid/runtime/coordinator.py",
+        """\
+        def pick(jobs):
+            return sorted(jobs)[0]
+        """,
+        select=["RC11"],
+    )
+    assert result.clean
+
+
+# ----------------------------------------------------------------------
 # Suppressions and RC00
 
 
@@ -750,7 +818,10 @@ def test_syntax_error_reports_check_error_exit_2(tmp_path):
 
 
 def test_every_rule_registered_with_metadata():
-    assert sorted(RULES) == [f"RC0{i}" for i in range(1, 10)] + ["RC10"]
+    assert sorted(RULES) == [f"RC0{i}" for i in range(1, 10)] + [
+        "RC10",
+        "RC11",
+    ]
     for code, cls in RULES.items():
         assert cls.code == code
         assert cls.title and cls.invariant and cls.scope

