@@ -163,8 +163,13 @@ class CheckpointJournal:
         """Empty the journal: a fresh snapshot has subsumed its records."""
         self.close()
         if self.path.exists():
-            with open(self.path, "wb"):
-                pass
+            # The truncation must be durable before the caller trusts
+            # the snapshot alone: a power cut that resurrects the old
+            # journal bytes would replay reconciliations against the
+            # *new* snapshot's interval state.
+            with open(self.path, "wb") as fh:
+                fh.flush()
+                os.fsync(fh.fileno())
 
     def close(self) -> None:
         if self._fh is not None:
@@ -209,8 +214,13 @@ class CheckpointJournal:
                 records.append(record)
         if valid < len(raw):
             self.close()
+            # Durable truncation: if the torn tail came back after a
+            # crash, the next append would interleave live records
+            # with garbage and the CRC scan would stop at the seam.
             with open(self.path, "r+b") as fh:
                 fh.truncate(valid)
+                fh.flush()
+                os.fsync(fh.fileno())
         return records
 
 

@@ -19,7 +19,12 @@ fields::
   carries an explicit ``version`` field).  A decoder refuses frames
   from the *future* (``version > WIRE_VERSION``) and refuses unknown
   types — framing can evolve without silent breakage: old fields keep
-  their meaning within a version, new fields must bump it.
+  their meaning within a version, new fields must bump it.  The
+  ``repro check`` RC12 gate enforces exactly this: each registered
+  message is diffed against its golden schema
+  (``repro/tools/check/schemas/wire.json``), and shape drift without a
+  bump fails the build (``--update-schemas`` refreshes the snapshot
+  once the bump is in place).
 
 Numbers round-trip exactly (Python's ``json`` preserves ints and
 ``repr``-exact floats, including ``inf`` for the initial bound).  JSON

@@ -154,6 +154,7 @@ class P2PSimulation:
             max_peer_message_share=max(self._message_load) / total_messages,
             nodes_explored=self.metrics.nodes_explored,
             redundant_rate=(
+                # repro-check: ignore[RC01] -- reporting ratio for Table 2, not interval state
                 overlap / self.metrics.leaves_consumed
                 if self.metrics.leaves_consumed
                 else 0.0

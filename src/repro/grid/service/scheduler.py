@@ -22,7 +22,7 @@ the id itself.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.grid.service.store import JobRecord
 
@@ -96,7 +96,7 @@ class Scheduler:
         """
         if len(running) >= self.config.max_running_jobs:
             return None
-        owner_running = {}
+        owner_running: Dict[str, int] = {}
         for record in running:
             owner_running[record.owner] = owner_running.get(record.owner, 0) + 1
         for record in sorted(queued, key=lambda r: r.order):

@@ -40,7 +40,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.core.interval import Interval
 from repro.core.stats import Incumbent
@@ -154,7 +154,7 @@ class SolveService:
         # Update/Push dedup stays inside each job's coordinator.
         self._last_seq: Dict[str, int] = {}
         self._last_reply: Dict[str, Any] = {}
-        self._clients: set = set()
+        self._clients: Set[str] = set()
         self.byes: Dict[str, Dict[str, float]] = {}
         self.work_allocations = 0
         self.requests_idled = 0
@@ -336,7 +336,7 @@ class SolveService:
         if self._draining:
             return Terminate(float("inf"))
         while True:
-            runnable = []
+            runnable: List[Tuple[JobRecord, int]] = []
             for record in self.jobs.in_status(RUNNING):
                 coordinator = self._coordinators.get(record.job_id)
                 if coordinator is None or coordinator.intervals.is_empty():
@@ -414,7 +414,7 @@ class SolveService:
 
     @staticmethod
     def _active_workers(coordinator: Coordinator) -> int:
-        owners: set = set()
+        owners: Set[str] = set()
         for rec in coordinator.intervals.records().values():
             owners |= rec.owners
         return len(owners)

@@ -100,9 +100,9 @@ class AvailabilityModel:
             if up:
                 mean = mean_up * (self._day_factor(t) if diurnal else 1.0)
                 duration = float(rng.exponential(mean))
-                end = min(t + duration, horizon)
-                periods.append((t, end))
-                t = end
+                up_until = min(t + duration, horizon)
+                periods.append((t, up_until))
+                t = up_until
                 up = False
             else:
                 mean = mean_down / (self._day_factor(t) if diurnal else 1.0)

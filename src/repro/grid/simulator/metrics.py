@@ -167,6 +167,7 @@ class MetricsCollector:
             work_allocations=self.work_allocations,
             explored_nodes=self.nodes_explored,
             redundant_node_rate=(
+                # repro-check: ignore[RC01] -- reporting ratio for Table 2, not interval state
                 overlap / self.leaves_consumed if self.leaves_consumed else 0.0
             ),
             best_cost=best_cost,

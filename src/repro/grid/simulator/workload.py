@@ -297,10 +297,12 @@ class _SyntheticUnit(WorkUnit):
         time_left = budget_seconds
         start_position = self.position
         elapsed = 0.0
+        # repro-check: ignore[RC01] -- time_left is simulated seconds (derived via the node->time conversion below), not interval state
         while time_left > 1e-12 and self.position < self.end:
             seg_len = w._segment_length
             seg_end = min(((self.position // seg_len) + 1) * seg_len, self.end)
             rate = w.rate_at(self.position) * power
+            # repro-check: ignore[RC01] -- node-count to simulated-seconds conversion; the quotient is time, not interval state
             needed = (seg_end - self.position) / rate
             if needed <= time_left:
                 elapsed += needed

@@ -1,13 +1,17 @@
 """``repro check`` — AST-based enforcement of the runtime's invariants.
 
 The checker is a small rule engine (:mod:`repro.tools.check.core`)
-plus the project-specific rules (:mod:`repro.tools.check.rules`) that
-pin invariants earlier PRs of this repository learned the hard way:
-int-exact interval arithmetic, the launcher-only write rule on the
-shared incumbent, versioned wire messages, the at-least-once RPC
-discipline, simulator determinism, non-blocking asyncio bodies, and
-the strictly-typed core perimeter.  ``docs/static-analysis.md``
-documents every rule with the bug that motivated it.
+with an intraprocedural dataflow layer
+(:mod:`repro.tools.check.dataflow`: symbol tables, def-use chains and
+a taint lattice) plus the project-specific rules
+(:mod:`repro.tools.check.rules`) that pin invariants earlier PRs of
+this repository learned the hard way: int-exact interval arithmetic,
+the launcher-only write rule on the shared incumbent, versioned wire
+messages and their golden schemas, the at-least-once RPC discipline,
+simulator determinism, non-blocking asyncio bodies, the
+strictly-typed core perimeter, checkpoint fsync coverage and
+handler exception safety.  ``docs/static-analysis.md`` documents
+every rule with the bug that motivated it.
 """
 
 from repro.tools.check.core import (
@@ -20,9 +24,16 @@ from repro.tools.check.core import (
     Violation,
     check_paths,
 )
+from repro.tools.check.dataflow import (
+    ScopeTaint,
+    SymbolTable,
+    TaintPolicy,
+    taint_scopes,
+)
 
 # Importing the rules module registers every rule in RULES.
 from repro.tools.check import rules as _rules  # noqa: F401
+from repro.tools.check.rules import compute_wire_schema, update_wire_schemas
 
 __all__ = [
     "CheckError",
@@ -30,7 +41,13 @@ __all__ = [
     "FileContext",
     "RULES",
     "Rule",
+    "ScopeTaint",
     "Suppression",
+    "SymbolTable",
+    "TaintPolicy",
     "Violation",
     "check_paths",
+    "compute_wire_schema",
+    "taint_scopes",
+    "update_wire_schemas",
 ]

@@ -17,7 +17,12 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.tools.check.core import RULES, check_paths
-from repro.tools.check.reporting import render_json, render_rule_list, render_text
+from repro.tools.check.reporting import (
+    render_json,
+    render_rule_list,
+    render_sarif,
+    render_text,
+)
 
 __all__ = ["add_check_arguments", "main", "run_check"]
 
@@ -39,10 +44,13 @@ def add_check_arguments(parser: argparse.ArgumentParser) -> None:
         help="extend determinism rules to benchmarks/ and examples/",
     )
     parser.add_argument(
+        "--output",
         "--format",
-        choices=["text", "json"],
+        dest="format",
+        choices=["text", "json", "sarif"],
         default="text",
-        help="report format (default: text)",
+        help="report format (default: text); sarif feeds GitHub "
+        "code-scanning so violations annotate PR diffs",
     )
     parser.add_argument(
         "--select",
@@ -54,6 +62,12 @@ def add_check_arguments(parser: argparse.ArgumentParser) -> None:
         "--list-rules",
         action="store_true",
         help="describe the registered rules and exit",
+    )
+    parser.add_argument(
+        "--update-schemas",
+        action="store_true",
+        help="rewrite the golden wire schemas (RC12) from the live "
+        "wire dataclasses and exit",
     )
 
 
@@ -74,6 +88,15 @@ def run_check(args: argparse.Namespace) -> int:
     if missing:
         print(f"repro-check: no such path(s): {', '.join(missing)}")
         return 2
+    if getattr(args, "update_schemas", False):
+        from repro.tools.check.rules import update_wire_schemas
+
+        target, count = update_wire_schemas([Path(p) for p in args.paths])
+        print(
+            f"repro-check: wrote golden schemas for {count} wire "
+            f"message(s) to {target}"
+        )
+        return 0
     try:
         result = check_paths(
             [Path(p) for p in args.paths], strict=args.strict, select=select
@@ -83,6 +106,8 @@ def run_check(args: argparse.Namespace) -> int:
         return 2
     if args.format == "json":
         print(render_json(result))
+    elif args.format == "sarif":
+        print(render_sarif(result, [cls() for cls in RULES.values()]))
     else:
         print(render_text(result))
     return result.exit_code()

@@ -22,19 +22,27 @@ comment::
 
     channel.send(message)  # repro-check: ignore[RC04] -- best-effort farewell
 
-The reason after ``--`` is **mandatory**: an ignore without one, or one
-naming an unknown rule, is itself reported as an ``RC00`` violation.
-``RC00`` cannot be suppressed.
+Suppressions are **line-scoped**: a trailing comment covers exactly
+its own line, a comment alone on a line covers exactly the next line.
+They are found by tokenizing the file, so the marker spelled inside a
+string or docstring (as above) is prose, not a suppression.  The
+reason after ``--`` is **mandatory**: an ignore without one, or one
+naming an unknown rule, is itself reported as an ``RC00`` violation —
+and so is a suppression that no active rule consumed, so a stale
+ignore cannot linger to hide a future regression.  ``RC00`` cannot be
+suppressed.
 """
 
 from __future__ import annotations
 
 import ast
 import fnmatch
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import ClassVar, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type
+from typing import ClassVar, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Type
 
 __all__ = [
     "CheckError",
@@ -94,11 +102,54 @@ class CheckError:
 
 @dataclass
 class Suppression:
-    """One ``# repro-check: ignore[...]`` comment."""
+    """One ``# repro-check: ignore[...]`` comment.
+
+    ``own_line`` records whether the comment stands alone (covering the
+    next line) or trails code (covering its own line only); ``used``
+    accumulates the codes a rule actually consumed, so the run can
+    report suppressions that silenced nothing.
+    """
 
     line: int
     codes: Tuple[str, ...]
     reason: Optional[str]
+    own_line: bool = False
+    used: Set[str] = field(default_factory=set)
+
+    @property
+    def well_formed(self) -> bool:
+        return bool(self.reason) and all(code in RULES for code in self.codes)
+
+
+def _scan_suppressions(source: str) -> Dict[int, Suppression]:
+    """Tokenize ``source`` and collect real suppression *comments*.
+
+    Tokenizing (rather than regex-scanning raw lines) means the marker
+    quoted inside a string or docstring is never mistaken for a live
+    suppression — essential now that unused suppressions are reported.
+    """
+    found: Dict[int, Suppression] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(tok.string)
+            if match is None:
+                continue
+            lineno, col = tok.start
+            codes = tuple(
+                code.strip().upper()
+                for code in match.group("codes").split(",")
+                if code.strip()
+            )
+            own_line = not tok.line[:col].strip()
+            found[lineno] = Suppression(
+                lineno, codes, match.group("reason"), own_line
+            )
+    except tokenize.TokenError:  # pragma: no cover - ast.parse succeeded
+        pass
+    return found
 
 
 class FileContext:
@@ -111,19 +162,7 @@ class FileContext:
         self.source = source
         self.tree = tree
         self.lines = source.splitlines()
-        self.suppressions: Dict[int, Suppression] = {}
-        for lineno, line in enumerate(self.lines, start=1):
-            match = _SUPPRESS_RE.search(line)
-            if match is None:
-                continue
-            codes = tuple(
-                code.strip().upper()
-                for code in match.group("codes").split(",")
-                if code.strip()
-            )
-            self.suppressions[lineno] = Suppression(
-                lineno, codes, match.group("reason")
-            )
+        self.suppressions: Dict[int, Suppression] = _scan_suppressions(source)
 
     def suppresses(self, rule: str, line: int) -> bool:
         """True when ``rule`` is ignored at ``line`` (same or previous line)."""
@@ -131,9 +170,10 @@ class FileContext:
             sup = self.suppressions.get(candidate)
             if sup is None or rule not in sup.codes:
                 continue
-            if candidate == line - 1 and not self.lines[candidate - 1].lstrip().startswith("#"):
+            if candidate == line - 1 and not sup.own_line:
                 continue  # a trailing comment only covers its own line
             if sup.reason:
+                sup.used.add(rule)
                 return True
         return False
 
@@ -275,6 +315,36 @@ def _suppression_violations(ctx: FileContext) -> Iterator[Violation]:
                 )
 
 
+def _unused_suppression_violations(
+    ctx: FileContext, active: Sequence[Rule], strict: bool
+) -> Iterator[Violation]:
+    """RC00: well-formed suppressions that silenced nothing this run.
+
+    Only codes whose rule both ran and applied to this file count —
+    under ``--select`` (or outside a rule's scope) a suppression is
+    not provably stale, so it is left alone.
+    """
+    applicable = {
+        rule.code for rule in active if rule.applies_to(ctx, strict)
+    }
+    for sup in ctx.suppressions.values():
+        if not sup.well_formed:
+            continue  # already an RC00 above
+        for code in sup.codes:
+            if code in applicable and code not in sup.used:
+                yield Violation(
+                    rule="RC00",
+                    path=ctx.rel,
+                    line=sup.line,
+                    col=1,
+                    message=(
+                        f"unused suppression: no {code} violation on "
+                        "the covered line — delete the ignore (stale "
+                        "ignores hide future regressions)"
+                    ),
+                )
+
+
 def check_paths(
     paths: Sequence[Path],
     *,
@@ -319,6 +389,9 @@ def check_paths(
             for violation in rule.check(ctx):
                 if not ctx.suppresses(violation.rule, violation.line):
                     result.violations.append(violation)
+        result.violations.extend(
+            _unused_suppression_violations(ctx, active, strict)
+        )
 
     result.violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
     return result

@@ -1,13 +1,19 @@
-"""Reporters for ``repro check`` results: human text and machine JSON."""
+"""Reporters for ``repro check``: human text, machine JSON, and SARIF.
+
+The SARIF output (``repro check --output sarif``) is a SARIF 2.1.0
+log that ``github/codeql-action/upload-sarif`` ingests, so violations
+annotate the exact changed lines of a pull-request diff instead of
+living in a CI log nobody opens.
+"""
 
 from __future__ import annotations
 
 import json
-from typing import Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.tools.check.core import CheckResult, Rule
 
-__all__ = ["render_text", "render_json", "render_rule_list"]
+__all__ = ["render_text", "render_json", "render_rule_list", "render_sarif"]
 
 
 def render_text(result: CheckResult, *, verbose: bool = False) -> str:
@@ -40,6 +46,103 @@ def render_json(result: CheckResult) -> str:
         indent=2,
         sort_keys=True,
     )
+
+
+#: The RC00 meta-rule is emitted by the engine, not the registry, so
+#: the SARIF rule table describes it by hand.
+_META_RULES = {
+    "RC00": (
+        "suppression hygiene",
+        "every inline ignore carries a reason, names a real rule, and "
+        "actually silences a violation",
+    ),
+}
+
+
+def render_sarif(result: CheckResult, rules: Sequence[Rule]) -> str:
+    """A SARIF 2.1.0 log of the run (GitHub code-scanning dialect)."""
+    rule_meta: Dict[str, Dict[str, object]] = {}
+    for code, (title, invariant) in _META_RULES.items():
+        rule_meta[code] = _sarif_rule(code, title, invariant)
+    for rule in rules:
+        rule_meta[rule.code] = _sarif_rule(
+            rule.code, rule.title, rule.invariant
+        )
+    results: List[Dict[str, object]] = [
+        {
+            "ruleId": v.rule,
+            "level": "error",
+            "message": {"text": v.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": v.path,
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": v.line,
+                            "startColumn": max(v.col, 1),
+                        },
+                    }
+                }
+            ],
+        }
+        for v in result.violations
+    ]
+    for error in result.errors:
+        results.append(
+            {
+                "ruleId": "RC-ERROR",
+                "level": "error",
+                "message": {"text": f"file could not be checked: {error.message}"},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": error.path,
+                                "uriBaseId": "%SRCROOT%",
+                            },
+                            "region": {"startLine": 1, "startColumn": 1},
+                        }
+                    }
+                ],
+            }
+        )
+    log = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-check",
+                        "informationUri": (
+                            "docs/static-analysis.md"
+                        ),
+                        "rules": [
+                            rule_meta[code] for code in sorted(rule_meta)
+                        ],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)
+
+
+def _sarif_rule(code: str, title: str, invariant: str) -> Dict[str, object]:
+    return {
+        "id": code,
+        "shortDescription": {"text": title},
+        "fullDescription": {"text": invariant},
+        "helpUri": "docs/static-analysis.md",
+        "defaultConfiguration": {"level": "error"},
+    }
 
 
 def render_rule_list(rules: Sequence[Rule], select: Optional[Sequence[str]] = None) -> str:

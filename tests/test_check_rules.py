@@ -729,6 +729,496 @@ def test_rc11_scope_is_the_service_package_only(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# RC12 — wire-schema changes bump the message version
+
+
+RC12_FRAMING = """\
+_WIRE_TYPES = {cls.__name__: cls for cls in (Request,)}
+"""
+
+RC12_PROTOCOL = """\
+from dataclasses import dataclass
+
+
+@dataclass
+class Request:
+    worker: str
+    seq: int = 0
+    version: int = 1
+"""
+
+RC12_GOLDEN = {
+    "messages": {
+        "Request": {
+            "version": 1,
+            "fields": {"worker": "str", "seq": "int", "version": "int"},
+        }
+    }
+}
+
+
+def _rc12_tree(tmp_path, protocol_source, golden=RC12_GOLDEN, framing=RC12_FRAMING):
+    protocol = tmp_path / "repro/grid/runtime/protocol.py"
+    framing_path = tmp_path / "repro/grid/net/framing.py"
+    schema = tmp_path / "tools/check/schemas/wire.json"
+    for path in (protocol, framing_path, schema):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    protocol.write_text(textwrap.dedent(protocol_source))
+    framing_path.write_text(textwrap.dedent(framing))
+    schema.write_text(json.dumps(golden))
+    return [protocol, framing_path]
+
+
+def test_rc12_matching_schema_passes(tmp_path):
+    result = check_paths(_rc12_tree(tmp_path, RC12_PROTOCOL), select=["RC12"])
+    assert result.clean
+
+
+def test_rc12_field_added_without_version_bump_fails(tmp_path):
+    drifted = RC12_PROTOCOL.replace(
+        "version: int = 1", "version: int = 1\n    retries: int = 0"
+    )
+    result = check_paths(_rc12_tree(tmp_path, drifted), select=["RC12"])
+    assert codes(result) == ["RC12"]
+    violation = result.violations[0]
+    assert "without a version bump" in violation.message
+    assert "added: retries" in violation.message
+    # Anchored on the class definition line.
+    assert violation.path.endswith("protocol.py")
+    assert violation.line == 5
+
+
+def test_rc12_field_retyped_without_version_bump_fails(tmp_path):
+    drifted = RC12_PROTOCOL.replace("seq: int = 0", "seq: float = 0")
+    result = check_paths(_rc12_tree(tmp_path, drifted), select=["RC12"])
+    assert codes(result) == ["RC12"]
+    assert "retyped: seq" in result.violations[0].message
+
+
+def test_rc12_drift_with_version_bump_demands_snapshot_refresh(tmp_path):
+    drifted = RC12_PROTOCOL.replace(
+        "version: int = 1", "version: int = 2\n    retries: int = 0"
+    )
+    result = check_paths(_rc12_tree(tmp_path, drifted), select=["RC12"])
+    assert codes(result) == ["RC12"]
+    assert "--update-schemas" in result.violations[0].message
+    assert "version bump to 2" in result.violations[0].message
+
+
+def test_rc12_new_registered_message_must_be_recorded(tmp_path):
+    extended = RC12_PROTOCOL + textwrap.dedent(
+        """\
+
+        @dataclass
+        class Cancel:
+            worker: str
+            seq: int = 0
+            version: int = 1
+        """
+    )
+    framing = "_WIRE_TYPES = {cls.__name__: cls for cls in (Request, Cancel)}\n"
+    result = check_paths(
+        _rc12_tree(tmp_path, extended, framing=framing), select=["RC12"]
+    )
+    assert codes(result) == ["RC12"]
+    assert "new wire message Cancel" in result.violations[0].message
+
+
+def test_rc12_message_removed_from_registry_is_flagged_in_framing(tmp_path):
+    golden = {
+        "messages": {
+            **RC12_GOLDEN["messages"],
+            "Retired": {"version": 3, "fields": {"worker": "str"}},
+        }
+    }
+    result = check_paths(
+        _rc12_tree(tmp_path, RC12_PROTOCOL, golden=golden), select=["RC12"]
+    )
+    assert codes(result) == ["RC12"]
+    assert "Retired" in result.violations[0].message
+    assert result.violations[0].path.endswith("framing.py")
+
+
+def test_rc12_version_via_module_constant_resolves(tmp_path):
+    source = RC12_PROTOCOL.replace(
+        "from dataclasses import dataclass",
+        "from dataclasses import dataclass\n\nPROTOCOL_VERSION = 1",
+    ).replace("version: int = 1", "version: int = PROTOCOL_VERSION")
+    result = check_paths(_rc12_tree(tmp_path, source), select=["RC12"])
+    assert result.clean
+
+
+def test_rc12_round_trip_update_then_mutate(tmp_path):
+    """The full gate lifecycle: snapshot, verify clean, drift, fail."""
+    from repro.tools.check.rules import update_wire_schemas
+
+    # Start from an empty tree-local snapshot so the update targets the
+    # fixture, never the checker package's own golden file.
+    paths = _rc12_tree(tmp_path, RC12_PROTOCOL, golden={"messages": {}})
+    assert not check_paths(paths, select=["RC12"]).clean  # unrecorded message
+    target, count = update_wire_schemas(paths)
+    assert count == 1
+    assert target == tmp_path / "tools/check/schemas/wire.json"
+    assert check_paths(paths, select=["RC12"]).clean
+    # Now a field changes without touching the version: the gate trips.
+    protocol = paths[0]
+    protocol.write_text(
+        protocol.read_text().replace("worker: str", "worker: bytes")
+    )
+    result = check_paths(paths, select=["RC12"])
+    assert codes(result) == ["RC12"]
+    assert "retyped: worker" in result.violations[0].message
+
+
+# ----------------------------------------------------------------------
+# RC13 — asyncio concurrency discipline
+
+
+def test_rc13_flags_await_under_sync_lock(tmp_path):
+    result = run_check(
+        tmp_path,
+        "repro/grid/service/server.py",
+        """\
+        import threading
+
+
+        class Server:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            async def pump(self, writer):
+                with self._lock:
+                    await writer.drain()
+        """,
+        select=["RC13"],
+    )
+    assert codes(result) == ["RC13"]
+    assert result.violations[0].line == 10
+    assert "event loop" in result.violations[0].message
+
+
+def test_rc13_await_under_lock_tracks_lock_through_assignment(tmp_path):
+    # The guard is taint-based: a lock reached through a local alias
+    # is still a lock, even though the alias name says nothing.
+    result = run_check(
+        tmp_path,
+        "repro/grid/net/serve.py",
+        """\
+        import threading
+
+
+        async def pump(registry, writer):
+            guard = registry.state_lock
+            with guard:
+                await writer.drain()
+        """,
+        select=["RC13"],
+    )
+    assert codes(result) == ["RC13"]
+    assert result.violations[0].line == 7
+
+
+def test_rc13_async_lock_and_lock_free_await_pass(tmp_path):
+    result = run_check(
+        tmp_path,
+        "repro/grid/service/server.py",
+        """\
+        import asyncio
+
+
+        class Server:
+            def __init__(self):
+                self._lock = asyncio.Lock()
+
+            async def pump(self, writer):
+                async with self._lock:
+                    await writer.drain()
+
+            async def tick(self):
+                await asyncio.sleep(0.1)
+        """,
+        select=["RC13"],
+    )
+    assert result.clean
+
+
+def test_rc13_flags_sync_thread_mutation_of_loop_state(tmp_path):
+    result = run_check(
+        tmp_path,
+        "repro/grid/service/server.py",
+        """\
+        class Server:
+            def __init__(self):
+                self.jobs = {}
+
+            async def _on_submit(self, msg):
+                self.jobs[msg.job_id] = msg
+
+            def cancel(self, job_id):
+                self.jobs.pop(job_id)
+        """,
+        select=["RC13"],
+    )
+    assert codes(result) == ["RC13"]
+    assert result.violations[0].line == 9
+    assert "loop-confined" in result.violations[0].message
+    assert "_on_submit" in result.violations[0].message
+
+
+def test_rc13_marshalled_mutation_and_init_are_exempt(tmp_path):
+    result = run_check(
+        tmp_path,
+        "repro/grid/service/server.py",
+        """\
+        class Server:
+            def __init__(self):
+                self.jobs = {}
+
+            async def _on_submit(self, msg):
+                self.jobs[msg.job_id] = msg
+
+            def cancel(self, loop, job_id):
+                def _evict():
+                    self.jobs.pop(job_id)
+
+                loop.call_soon_threadsafe(_evict)
+        """,
+        select=["RC13"],
+    )
+    assert result.clean
+
+
+def test_rc13_scope_is_net_and_service_only(tmp_path):
+    result = run_check(
+        tmp_path,
+        "repro/grid/runtime/coordinator.py",
+        """\
+        import threading
+
+
+        class Coordinator:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            async def pump(self, writer):
+                with self._lock:
+                    await writer.drain()
+        """,
+        select=["RC13"],
+    )
+    assert result.clean
+
+
+# ----------------------------------------------------------------------
+# RC14 — checkpoint writes reach fsync on every branch
+
+
+def test_rc14_flags_write_that_returns_without_fsync(tmp_path):
+    result = run_check(
+        tmp_path,
+        "repro/core/checkpoint.py",
+        """\
+        def append(fh, payload):
+            fh.write(payload)
+            fh.flush()
+        """,
+        select=["RC14"],
+    )
+    assert codes(result) == ["RC14"]
+    assert result.violations[0].line == 2
+    assert "page cache" in result.violations[0].message
+
+
+def test_rc14_write_followed_by_fsync_passes(tmp_path):
+    result = run_check(
+        tmp_path,
+        "repro/core/checkpoint.py",
+        """\
+        import os
+
+
+        def append(fh, payload):
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        """,
+        select=["RC14"],
+    )
+    assert result.clean
+
+
+def test_rc14_conditional_fsync_does_not_cover_unconditional_write(tmp_path):
+    result = run_check(
+        tmp_path,
+        "repro/core/checkpoint.py",
+        """\
+        import os
+
+
+        def append(fh, payload, flush):
+            fh.write(payload)
+            if flush:
+                os.fsync(fh.fileno())
+        """,
+        select=["RC14"],
+    )
+    assert codes(result) == ["RC14"]
+    assert result.violations[0].line == 5
+
+
+def test_rc14_fsync_in_finally_covers_the_whole_try(tmp_path):
+    result = run_check(
+        tmp_path,
+        "repro/core/checkpoint.py",
+        """\
+        import os
+
+
+        def append(fh, payload):
+            try:
+                fh.write(payload)
+            finally:
+                fh.flush()
+                os.fsync(fh.fileno())
+        """,
+        select=["RC14"],
+    )
+    assert result.clean
+
+
+def test_rc14_open_for_write_needs_fsync_inside_the_with(tmp_path):
+    source = """\
+    import os
+
+
+    def rotate(path):
+        with open(path, "wb") as fh:
+            fh.flush()
+    """
+    result = run_check(tmp_path, "repro/core/checkpoint.py", source, select=["RC14"])
+    assert codes(result) == ["RC14"]
+    assert result.violations[0].line == 5
+    fixed = source.replace(
+        "fh.flush()", "fh.flush()\n            os.fsync(fh.fileno())"
+    )
+    assert run_check(
+        tmp_path, "repro/core/checkpoint.py", fixed, select=["RC14"]
+    ).clean
+
+
+def test_rc14_read_paths_and_other_modules_are_exempt(tmp_path):
+    assert run_check(
+        tmp_path,
+        "repro/core/checkpoint.py",
+        """\
+        def load(path):
+            with open(path, "rb") as fh:
+                return fh.read()
+        """,
+        select=["RC14"],
+    ).clean
+    assert run_check(
+        tmp_path,
+        "repro/grid/runtime/launcher.py",
+        "def note(fh, text):\n    fh.write(text)\n",
+        select=["RC14"],
+    ).clean
+
+
+# ----------------------------------------------------------------------
+# RC15 — handlers never swallow exceptions broadly
+
+
+def test_rc15_flags_broad_swallow_in_handler(tmp_path):
+    result = run_check(
+        tmp_path,
+        "repro/grid/runtime/coordinator.py",
+        """\
+        def handle(self, msg):
+            try:
+                self.apply(msg)
+            except Exception:
+                pass
+        """,
+        select=["RC15"],
+    )
+    assert codes(result) == ["RC15"]
+    assert result.violations[0].line == 4
+    assert "silently dropped" in result.violations[0].message
+
+
+def test_rc15_flags_bare_except_and_broad_tuple(tmp_path):
+    result = run_check(
+        tmp_path,
+        "repro/grid/service/server.py",
+        """\
+        async def _on_push(self, msg):
+            try:
+                self.apply(msg)
+            except:
+                self.log("dropped")
+
+
+        def handle_update(self, msg):
+            try:
+                self.apply(msg)
+            except (ValueError, Exception):
+                self.log("dropped")
+        """,
+        select=["RC15"],
+    )
+    assert codes(result) == ["RC15", "RC15"]
+    assert [v.line for v in result.violations] == [4, 11]
+
+
+def test_rc15_answering_or_narrow_handlers_pass(tmp_path):
+    result = run_check(
+        tmp_path,
+        "repro/grid/service/server.py",
+        """\
+        def handle_submit(self, msg):
+            try:
+                return self.admit(msg)
+            except Exception:
+                return self.refuse(msg)
+
+
+        def handle_push(self, msg):
+            try:
+                self.apply(msg)
+            except Exception:
+                self.log("failed")
+                raise
+
+
+        def handle_bye(self, msg):
+            try:
+                self.apply(msg)
+            except KeyError:
+                pass
+        """,
+        select=["RC15"],
+    )
+    assert result.clean
+
+
+def test_rc15_non_handler_functions_are_not_audited(tmp_path):
+    result = run_check(
+        tmp_path,
+        "repro/grid/runtime/coordinator.py",
+        """\
+        def best_effort_cleanup(self):
+            try:
+                self.flush()
+            except Exception:
+                pass
+        """,
+        select=["RC15"],
+    )
+    assert result.clean
+
+
+# ----------------------------------------------------------------------
 # Suppressions and RC00
 
 
@@ -764,7 +1254,10 @@ def test_trailing_suppression_does_not_leak_to_the_next_line(tmp_path):
     result = run_check(
         tmp_path, "repro/grid/runtime/bbprocess.py", source, select=["RC02"]
     )
-    assert codes(result) == ["RC02"]
+    # The violation still fires, and the mis-anchored ignore (which
+    # silenced nothing) is itself reported as an unused suppression.
+    assert codes(result) == ["RC00", "RC02"]
+    assert "unused suppression" in result.violations[0].message
 
 
 def test_reasonless_suppression_is_rc00_and_does_not_suppress(tmp_path):
@@ -821,6 +1314,10 @@ def test_every_rule_registered_with_metadata():
     assert sorted(RULES) == [f"RC0{i}" for i in range(1, 10)] + [
         "RC10",
         "RC11",
+        "RC12",
+        "RC13",
+        "RC14",
+        "RC15",
     ]
     for code, cls in RULES.items():
         assert cls.code == code
@@ -843,6 +1340,56 @@ def test_cli_json_format_and_exit_code(tmp_path, capsys):
     assert payload["files_checked"] == 1
     assert [v["rule"] for v in payload["violations"]] == ["RC02"]
     assert payload["violations"][0]["line"] == 2
+
+
+def test_cli_sarif_format(tmp_path, capsys):
+    target = tmp_path / "repro/grid/runtime/other.py"
+    target.parent.mkdir(parents=True)
+    target.write_text("def f(shared, cost):\n    shared.offer(cost)\n")
+    exit_code = check_main(
+        [str(target), "--select", "RC02", "--output", "sarif"]
+    )
+    sarif = json.loads(capsys.readouterr().out)
+    assert exit_code == 1
+    assert sarif["version"] == "2.1.0"
+    run = sarif["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-check"
+    rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+    assert {"RC00", "RC02", "RC12", "RC15"} <= rule_ids
+    (found,) = run["results"]
+    assert found["ruleId"] == "RC02"
+    region = found["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] == 2
+
+
+def test_cli_sarif_clean_run_has_no_results(tmp_path, capsys):
+    target = tmp_path / "repro/core/interval.py"
+    target.parent.mkdir(parents=True)
+    target.write_text("x = 1\n")
+    assert check_main([str(target), "--format", "sarif"]) == 0
+    sarif = json.loads(capsys.readouterr().out)
+    assert sarif["runs"][0]["results"] == []
+
+
+def test_cli_update_schemas_writes_the_golden_file(tmp_path, capsys):
+    protocol = tmp_path / "repro/grid/runtime/protocol.py"
+    framing = tmp_path / "repro/grid/net/framing.py"
+    schema = tmp_path / "tools/check/schemas/wire.json"
+    for path in (protocol, framing, schema):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    protocol.write_text(
+        "from dataclasses import dataclass\n\n\n"
+        "@dataclass\nclass Request:\n"
+        "    worker: str\n    seq: int = 0\n    version: int = 1\n"
+    )
+    framing.write_text("_WIRE_TYPES = {cls.__name__: cls for cls in (Request,)}\n")
+    schema.write_text("{}")
+    assert check_main([str(tmp_path / "repro"), "--update-schemas"]) == 0
+    out = capsys.readouterr().out
+    assert "wrote golden schemas for 1 wire message(s)" in out
+    written = json.loads(schema.read_text())
+    assert written["messages"]["Request"]["version"] == 1
+    assert written["messages"]["Request"]["fields"]["worker"] == "str"
 
 
 def test_cli_list_rules(capsys):

@@ -137,8 +137,13 @@ class TestAbortResume:
             s["nodes"] for s in result2.worker_stats.values()
         )
         assert result2.nodes_explored == reported
-        if result1.aborted:
-            # A mid-run crash means the successor had real work left.
+        if result1.aborted and result1.cost > serial.cost:
+            # The crash provably landed mid-run (the optimum was not
+            # found yet), so the successor had real work left.  When
+            # the abort races the natural end of the search, the
+            # journal may already cover the whole space and a
+            # zero-node resume is the correct outcome — the
+            # result2.optimal/cost asserts above still pin it.
             assert result2.nodes_explored > 0
 
     def test_resume_from_clean_shutdown_is_a_noop_run(self, tmp_path):
